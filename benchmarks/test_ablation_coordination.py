@@ -1,0 +1,50 @@
+"""Ablation A1 (Sections 2.2.3 / 3.1): coordination fraction sweep.
+
+Extends Figure 4 from the single 50% point to a 0% -> 100% adoption
+sweep, quantifying the incentive story: modified senders benefit at any
+adoption level, and the network as a whole improves as adoption grows.
+"""
+
+from bench_common import report, run_once, scaled
+
+from repro.experiments import FIG4_INCREMENTAL, run_incremental_deployment
+from repro.transport import CubicParams
+
+OPTIMAL = CubicParams(window_init=16, initial_ssthresh=64, beta=0.3)
+
+
+def _run_sweep():
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+    duration = scaled(25.0, 60.0)
+    seeds = range(scaled(2, 6))
+    rows = []
+    for fraction in fractions:
+        runs = [
+            run_incremental_deployment(
+                OPTIMAL, FIG4_INCREMENTAL, fraction, seed=s, duration_s=duration
+            )
+            for s in seeds
+        ]
+        overall_power = sum(r.overall.metrics.power_l for r in runs) / len(runs)
+        overall_delay = sum(
+            r.overall.metrics.queueing_delay_ms for r in runs
+        ) / len(runs)
+        rows.append((fraction, overall_power, overall_delay))
+    return rows
+
+
+def test_ablation_coordination_fraction(benchmark, capfd):
+    rows = run_once(benchmark, _run_sweep)
+
+    with report(capfd, "Ablation A1: network-wide effect of adoption fraction"):
+        print(f"{'adopted':>8s} {'overall P_l':>12s} {'delay(ms)':>10s}")
+        for fraction, power, delay in rows:
+            print(f"{fraction:>8.0%} {power:>12.4f} {delay:>10.1f}")
+
+    by_fraction = {f: (p, d) for f, p, d in rows}
+    # Full adoption beats no adoption on the network-wide power metric.
+    assert by_fraction[1.0][0] > by_fraction[0.0][0]
+    # Full adoption also drains the queue relative to no adoption.
+    assert by_fraction[1.0][1] < by_fraction[0.0][1]
+    # Majority adoption already captures most of the delay win.
+    assert by_fraction[0.75][1] < by_fraction[0.0][1]

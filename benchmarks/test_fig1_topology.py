@@ -1,0 +1,50 @@
+"""Figure 1: the dumbbell network used for the TCP Cubic experiments.
+
+"The buffer size is 5 times the bandwidth-delay product of the
+bottleneck link."  This bench validates the topology construction and
+measures the simulator's raw event throughput on it.
+"""
+
+from bench_common import report, run_once, scaled
+
+from repro.simnet import (
+    DumbbellConfig,
+    DumbbellTopology,
+    Simulator,
+    bdp_bytes,
+    make_data_packet,
+)
+
+
+def _build_and_saturate():
+    sim = Simulator()
+    config = DumbbellConfig()  # Table 3 defaults: 15 Mbps, 150 ms, n=8
+    topology = DumbbellTopology(sim, config)
+    for receiver in topology.receivers:
+        receiver.set_default_handler(lambda p: None)
+    packets = scaled(2_000, 20_000)
+    for i in range(packets):
+        sender = topology.senders[i % len(topology.senders)]
+        receiver = topology.receivers[i % len(topology.receivers)]
+        sender.send(make_data_packet(1 + i % 8, sender.name, receiver.name, i, 1400))
+    sim.run()
+    return sim, topology
+
+
+def test_fig1_dumbbell_topology(benchmark, capfd):
+    sim, topology = run_once(benchmark, _build_and_saturate)
+
+    config = topology.config
+    bdp = bdp_bytes(config.bottleneck_bandwidth_bps, config.rtt_s)
+    assert config.buffer_bytes == 5 * bdp
+    assert topology.bottleneck.packets_transmitted > 0
+    assert sim.events_processed > 0
+
+    with report(capfd, "Figure 1: dumbbell topology (buffer = 5 x BDP)"):
+        print(f"bottleneck bandwidth : {config.bottleneck_bandwidth_bps / 1e6:.0f} Mbps")
+        print(f"round-trip time      : {config.rtt_s * 1e3:.0f} ms")
+        print(f"senders / receivers  : {config.n_senders} / {config.n_senders}")
+        print(f"BDP                  : {bdp} bytes")
+        print(f"bottleneck buffer    : {config.buffer_bytes} bytes (5 x BDP)")
+        print(f"events processed     : {sim.events_processed}")
+        print(f"packets across bottleneck: {topology.bottleneck.packets_transmitted}")

@@ -1,0 +1,68 @@
+"""Figure 2c: long-running connections (~99% bottleneck utilization).
+
+Paper: with persistent flows, "varying the initial window size or the
+slow start threshold does not have much impact.  However, beta does have
+a significant impact, with a larger value (corresponding to a sharper
+back-off upon packet loss) yielding a significantly lower queueing delay
+compared to the default."
+"""
+
+from bench_common import report, run_once, scaled
+
+from repro.experiments import run_cubic_fixed
+from repro.experiments.scenarios import ScenarioPreset
+from repro.simnet import DumbbellConfig
+from repro.transport import CubicParams
+
+
+def _preset():
+    return ScenarioPreset(
+        name="fig2c",
+        config=DumbbellConfig(n_senders=scaled(24, 100)),
+        workload=None,
+        duration_s=scaled(30.0, 60.0),
+        description="Figure 2c long-running flows",
+    )
+
+
+def _run_all():
+    preset = _preset()
+    betas = [0.1, 0.2, 0.4, 0.6, 0.8]
+    beta_rows = [
+        (beta, run_cubic_fixed(CubicParams(beta=beta), preset, seed=42))
+        for beta in betas
+    ]
+    wi_rows = [
+        (wi, run_cubic_fixed(CubicParams(window_init=wi), preset, seed=42))
+        for wi in (2, 64)
+    ]
+    return beta_rows, wi_rows
+
+
+def test_fig2c_long_running_beta_sweep(benchmark, capfd):
+    beta_rows, wi_rows = run_once(benchmark, _run_all)
+
+    with report(capfd, "Figure 2c: long-running connections, beta sweep"):
+        print(f"{'beta':>5s} {'thr(Mbps)':>10s} {'delay(ms)':>10s} "
+              f"{'loss%':>7s} {'util':>6s} {'P_l':>8s}")
+        for beta, result in beta_rows:
+            m = result.metrics
+            marker = " <= default" if beta == 0.2 else ""
+            print(f"{beta:>5.1f} {m.throughput_mbps:>10.2f} "
+                  f"{m.queueing_delay_ms:>10.0f} {m.loss_rate * 100:>7.2f} "
+                  f"{result.mean_utilization:>6.2f} {m.power_l:>8.4f}{marker}")
+        print("\nwindowInit_ sensitivity (should be small):")
+        for wi, result in wi_rows:
+            print(f"  windowInit_={wi:<3d} thr={result.metrics.throughput_mbps:.2f} "
+                  f"Mbps delay={result.metrics.queueing_delay_ms:.0f} ms")
+
+    by_beta = dict(beta_rows)
+    # The link runs hot, as in the paper's ~99% setting.
+    assert all(r.mean_utilization > 0.85 for _b, r in beta_rows)
+    # Larger beta -> significantly lower queueing delay than the default.
+    default_delay = by_beta[0.2].metrics.queueing_delay_ms
+    sharp_delay = by_beta[0.8].metrics.queueing_delay_ms
+    assert sharp_delay < default_delay
+    # Initial window barely matters for persistent flows.
+    wi_throughputs = [r.metrics.throughput_mbps for _wi, r in wi_rows]
+    assert max(wi_throughputs) < 2.0 * min(wi_throughputs)

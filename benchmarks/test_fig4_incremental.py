@@ -1,0 +1,78 @@
+"""Figure 4: Cubic parameters under incremental deployment.
+
+Paper: "one half of the senders ('unmodified') sticks with the default
+parameter settings for TCP Cubic, while the other half ('modified') uses
+the parameter setting that would have been optimal had all senders been
+cooperating.  ... the modified senders still see improved throughput and
+delay compared to the default case.  Even the unmodified senders see an
+improvement in the power metric."  The modified ssthresh in the paper's
+figure is 64 segments.
+"""
+
+from bench_common import report, run_once, scaled
+
+from repro.experiments import (
+    FIG4_INCREMENTAL,
+    run_cubic_fixed,
+    run_incremental_deployment,
+)
+from repro.transport import CubicParams
+
+#: The setting the paper's Figure-4 modified senders use (ssthresh 64).
+MODIFIED_PARAMS = CubicParams(window_init=16, initial_ssthresh=64, beta=0.3)
+
+
+def _run():
+    duration = scaled(30.0, 60.0)
+    seeds = range(scaled(2, 8))
+    mixed = [
+        run_incremental_deployment(
+            MODIFIED_PARAMS, FIG4_INCREMENTAL, 0.5, seed=s, duration_s=duration
+        )
+        for s in seeds
+    ]
+    baseline = [
+        run_cubic_fixed(
+            CubicParams.default(), FIG4_INCREMENTAL, seed=s, duration_s=duration
+        )
+        for s in seeds
+    ]
+    return mixed, baseline
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_fig4_incremental_deployment(benchmark, capfd):
+    mixed, baseline = run_once(benchmark, _run)
+
+    mod_thr = _mean(r.modified.throughput_mbps for r in mixed)
+    mod_delay = _mean(r.modified.queueing_delay_ms for r in mixed)
+    mod_power = _mean(r.modified.power_l for r in mixed)
+    unmod_thr = _mean(r.unmodified.throughput_mbps for r in mixed)
+    unmod_delay = _mean(r.unmodified.queueing_delay_ms for r in mixed)
+    unmod_power = _mean(r.unmodified.power_l for r in mixed)
+    base_thr = _mean(r.metrics.throughput_mbps for r in baseline)
+    base_delay = _mean(r.metrics.queueing_delay_ms for r in baseline)
+    base_power = _mean(r.metrics.power_l for r in baseline)
+
+    with report(capfd, "Figure 4: incremental deployment (half modified)"):
+        print(f"{'population':<22s} {'thr(Mbps)':>10s} {'delay(ms)':>10s} {'P_l':>9s}")
+        print(f"{'all default':<22s} {base_thr:>10.2f} {base_delay:>10.1f} "
+              f"{base_power:>9.4f}")
+        print(f"{'modified half':<22s} {mod_thr:>10.2f} {mod_delay:>10.1f} "
+              f"{mod_power:>9.4f}")
+        print(f"{'unmodified half':<22s} {unmod_thr:>10.2f} {unmod_delay:>10.1f} "
+              f"{unmod_power:>9.4f}")
+        print(f"\nmean utilization (mixed runs): "
+              f"{_mean(r.overall.mean_utilization for r in mixed):.2f}")
+
+    # Modified senders beat the all-default baseline on delay and power.
+    assert mod_delay < base_delay
+    assert mod_power > base_power
+    # Modified senders also do better than their unmodified competitors.
+    assert mod_power >= unmod_power
+    # "Even the unmodified senders see an improvement in the power metric"
+    assert unmod_power > base_power

@@ -1,0 +1,29 @@
+"""Table 1: default settings of the TCP Cubic parameters.
+
+Paper values: initial_ssthresh arbitrarily large (65K segments),
+windowInit_ = 2 segments, beta = 0.2.
+"""
+
+from bench_common import report, run_once
+
+from repro.transport import (
+    DEFAULT_BETA,
+    DEFAULT_INITIAL_SSTHRESH,
+    DEFAULT_WINDOW_INIT,
+    CubicParams,
+)
+
+
+def test_table1_default_parameters(benchmark, capfd):
+    params = run_once(benchmark, CubicParams.default)
+
+    assert params.initial_ssthresh == DEFAULT_INITIAL_SSTHRESH == 65536.0
+    assert params.window_init == DEFAULT_WINDOW_INIT == 2.0
+    assert params.beta == DEFAULT_BETA == 0.2
+
+    with report(capfd, "Table 1: Default settings of the TCP Cubic parameters"):
+        print(f"{'Parameter':<20s} {'Default Value':<40s}")
+        print(f"{'initial_ssthresh':<20s} "
+              f"Arbitrarily large ({params.initial_ssthresh:.0f} segments)")
+        print(f"{'windowInit_':<20s} {params.window_init:.0f} segments")
+        print(f"{'beta':<20s} {params.beta}")

@@ -1,0 +1,33 @@
+"""Table 2: range of the TCP Cubic-Phi parameter sweep.
+
+Paper: initial_ssthresh 2-256 segments (x2), windowInit_ 2-256 segments
+(x2), beta 0.1-0.9 (+0.1) — 576 grid points.
+"""
+
+import pytest
+from bench_common import report, run_once
+
+from repro.phi.optimizer import CUBIC_SWEEP_GRID
+from repro.transport import cubic_sweep_grid
+
+
+def test_table2_sweep_grid(benchmark, capfd):
+    grid = run_once(benchmark, lambda: list(cubic_sweep_grid()))
+
+    assert len(grid) == 576
+    assert grid == CUBIC_SWEEP_GRID
+    ssthreshes = sorted({p.initial_ssthresh for p in grid})
+    window_inits = sorted({p.window_init for p in grid})
+    betas = sorted({p.beta for p in grid})
+
+    # Powers-of-two sweeps, per Table 2.
+    assert ssthreshes == [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+    assert window_inits == ssthreshes
+    assert betas == pytest.approx([0.1 * k for k in range(1, 10)])
+
+    with report(capfd, "Table 2: Range of parameter sweep in TCP Cubic-Phi"):
+        print(f"{'Parameter':<20s} {'Range':<22s} {'Increment':<10s}")
+        print(f"{'initial_ssthresh':<20s} {'2 - 256 segments':<22s} {'x 2':<10s}")
+        print(f"{'windowInit_':<20s} {'2 - 256 segments':<22s} {'x 2':<10s}")
+        print(f"{'beta':<20s} {'0.1 - 0.9':<22s} {'+ 0.1':<10s}")
+        print(f"grid points: {len(grid)}")

@@ -1,0 +1,62 @@
+"""Table 3: Remy vs Remy-Phi (ideal/practical) vs Cubic.
+
+Paper setting: dumbbell, 15 Mbps, 150 ms RTT, 8 senders alternating
+exp(100 KB) flows and exp(0.5 s) off times.  Both Remy variants are
+retrained here (small budget at reduced scale); the Phi variant's memory
+carries the shared bottleneck-utilization dimension.
+
+Paper result (median throughput / queueing delay / objective):
+  Remy-Phi-practical  1.93 / 5.6 / 2.52
+  Remy-Phi-ideal      1.97 / 3.0 / 2.56
+  Remy                1.45 / 1.7 / 2.26
+  Cubic               1.03 / 9.3 / 1.87
+Shape to reproduce: Phi variants > Remy > Cubic on the objective, with
+Cubic's queueing delay the largest.
+"""
+
+from bench_common import report, run_once, scaled
+
+from repro.experiments import run_table3, train_tables
+
+
+def _train_and_evaluate():
+    remy_result, phi_result = train_tables(
+        budget=scaled(32, 80),
+        duration_s=scaled(12.0, 30.0),
+    )
+    table = run_table3(
+        remy_result.table,
+        phi_result.table,
+        n_runs=scaled(4, 8),
+        duration_s=scaled(30.0, 60.0),
+    )
+    table.remy_training = remy_result
+    table.phi_training = phi_result
+    return table
+
+
+def test_table3_remy_comparison(benchmark, capfd):
+    table = run_once(benchmark, _train_and_evaluate)
+
+    with report(capfd, "Table 3: Remy / Remy-Phi / Cubic comparison"):
+        print(table.format())
+        print(f"\ntraining: remy {table.remy_training.evaluations} evals "
+              f"(score {table.remy_training.score:.2f}), "
+              f"phi {table.phi_training.evaluations} evals "
+              f"(score {table.phi_training.score:.2f})")
+        print("paper objective ordering: Phi-ideal >= Phi-practical > Remy > Cubic")
+
+    ideal = table.row("Remy-Phi-ideal")
+    practical = table.row("Remy-Phi-practical")
+    remy = table.row("Remy")
+    cubic = table.row("Cubic")
+
+    # The paper's ordering on the objective.
+    assert remy.median_objective > cubic.median_objective
+    assert practical.median_objective >= remy.median_objective
+    assert ideal.median_objective >= remy.median_objective
+    # Cubic's queueing delay is the largest of the four rows.
+    delays = [r.median_queueing_delay_ms for r in table.rows]
+    assert cubic.median_queueing_delay_ms == max(delays)
+    # Remy variants move at least as much data as Cubic.
+    assert remy.median_throughput_mbps >= 0.8 * cubic.median_throughput_mbps

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Visualize a Cubic congestion-window trajectory with the tracer.
+
+Runs one long Cubic flow through a shallow-buffered bottleneck so losses
+occur, records every window change with the structured tracer, and
+renders the classic Cubic sawtooth — concave recovery toward W_max, then
+convex probing beyond it — as ASCII art.
+
+Run:  python examples/cwnd_trajectory.py
+"""
+
+from repro.simnet import (
+    DumbbellConfig,
+    DumbbellTopology,
+    FlowSpec,
+    Simulator,
+    TraceEventType,
+    TracedSenderMixin,
+    Tracer,
+)
+from repro.transport import CubicSender, TcpSink
+
+
+class TracedCubic(TracedSenderMixin, CubicSender):
+    """Cubic sender that logs every cwnd change."""
+
+
+def render(trajectory, width=64, rows=20):
+    """Downsample (time, cwnd) points into an ASCII plot."""
+    if not trajectory:
+        return "no samples"
+    t_max = trajectory[-1][0]
+    w_max = max(w for _t, w in trajectory)
+    grid = [[" "] * width for _ in range(rows)]
+    for t, w in trajectory:
+        x = min(width - 1, int(t / t_max * (width - 1)))
+        y = min(rows - 1, int(w / w_max * (rows - 1)))
+        grid[rows - 1 - y][x] = "*"
+    lines = [f"{w_max:7.0f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("        |" + "".join(row))
+    lines.append(f"{0:7.0f} +" + "".join(grid[-1]))
+    lines.append("         " + "-" * width)
+    lines.append(f"         0 s{' ' * (width - 14)}{t_max:.0f} s")
+    return "\n".join(lines)
+
+
+def main():
+    sim = Simulator()
+    config = DumbbellConfig(
+        n_senders=1,
+        bottleneck_bandwidth_bps=10_000_000.0,
+        rtt_s=0.06,
+        buffer_bdp_multiple=1.0,
+    )
+    topology = DumbbellTopology(sim, config)
+    spec = FlowSpec(1, topology.senders[0].name, 1, topology.receivers[0].name, 443)
+    TcpSink(sim, topology.receivers[0], spec)
+    tracer = Tracer(lambda: sim.now, max_events=200_000)
+    sender = TracedCubic(
+        sim, topology.senders[0], spec, 10**9, tracer=tracer
+    )
+    sender.start()
+    sim.run(until=30.0)
+    sender.abort()
+
+    trajectory = tracer.series(TraceEventType.CWND, f"flow-{spec.flow_id}")
+    print(f"cwnd samples: {len(trajectory)}, "
+          f"loss events: {sender.stats.fast_retransmits}, "
+          f"timeouts: {sender.stats.timeouts}\n")
+    print("congestion window (segments) over time — the Cubic sawtooth:\n")
+    print(render(trajectory))
+
+
+if __name__ == "__main__":
+    main()

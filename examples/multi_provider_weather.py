@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A shared network-weather barometer across competing providers (§3.1).
+
+Three "five computer" entities (think Netflix / YouTube / a large cloud)
+each measure congestion toward the same destination region on their own
+infrastructure.  None will reveal its raw telemetry to the others — but
+all benefit from a common barometer.  The example:
+
+1. runs three independent dumbbell simulations at different load levels,
+   one per provider, and takes each provider's private utilization;
+2. combines the three private values through additive-secret-sharing
+   secure aggregation (only the mean is ever revealed);
+3. keys each provider's Phi policy off the shared barometer and shows a
+   provider that *locally* looks idle still behaving conservatively
+   because the region as a whole is running hot.
+
+Run:  python examples/multi_provider_weather.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_cubic_fixed
+from repro.experiments.scenarios import ScenarioPreset
+from repro.phi import REFERENCE_POLICY, CongestionContext, SecureCongestionAggregation
+from repro.simnet import DumbbellConfig
+from repro.transport import CubicParams
+from repro.workload import OnOffConfig
+
+PROVIDERS = {
+    "streamco": OnOffConfig(mean_on_bytes=900_000, mean_off_s=0.3),   # busy
+    "videotube": OnOffConfig(mean_on_bytes=700_000, mean_off_s=0.6),  # busy
+    "cloudnine": OnOffConfig(mean_on_bytes=100_000, mean_off_s=3.0),  # quiet
+}
+
+
+def measure_private_utilization():
+    """Each provider measures congestion on its own infrastructure."""
+    measured = {}
+    for i, (provider, workload) in enumerate(PROVIDERS.items()):
+        preset = ScenarioPreset(
+            name=provider,
+            config=DumbbellConfig(n_senders=10),
+            workload=workload,
+            duration_s=20.0,
+            description="",
+        )
+        result = run_cubic_fixed(CubicParams.default(), preset, seed=100 + i)
+        measured[provider] = result.mean_utilization
+    return measured
+
+
+def main():
+    print("== Step 1: private measurements ==")
+    measured = measure_private_utilization()
+    for provider, utilization in measured.items():
+        print(f"  {provider:<10s} sees utilization {utilization:.2f} "
+              f"(kept private)")
+
+    print("\n== Step 2: secure aggregation (only the mean is revealed) ==")
+    protocol = SecureCongestionAggregation(
+        ["aggregator-a", "aggregator-b"], np.random.default_rng(31)
+    )
+    for provider, utilization in measured.items():
+        protocol.submit(provider, utilization)
+    barometer = protocol.reveal_mean()
+    print(f"  shared barometer: mean utilization = {barometer:.2f} "
+          f"across {protocol.round_size} providers")
+    partial = protocol.aggregators[0].partial_sum
+    print(f"  (a single aggregator's view is just noise: {partial})")
+
+    print("\n== Step 3: every provider keys its policy off the barometer ==")
+    for provider, local in measured.items():
+        local_ctx = CongestionContext(local, 0.0, 0.0)
+        shared_ctx = CongestionContext(barometer, 0.0, 0.0)
+        local_params = REFERENCE_POLICY.params_for(local_ctx)
+        shared_params = REFERENCE_POLICY.params_for(shared_ctx)
+        note = ""
+        if shared_ctx.level().rank > local_ctx.level().rank:
+            note = "  <- more conservative than its local view alone"
+        print(f"  {provider:<10s} local level {local_ctx.level().value:<9s}"
+              f" shared level {shared_ctx.level().value:<9s}"
+              f" ssthresh {local_params.initial_ssthresh:.0f} -> "
+              f"{shared_params.initial_ssthresh:.0f}{note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: default TCP Cubic vs Phi-coordinated Cubic.
+
+Runs the paper's Table-3 workload (8 on/off senders over a 15 Mbps,
+150 ms dumbbell) twice — once with every sender using the stock Cubic
+defaults, once with senders consulting a Phi context server at
+connection start — and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import TABLE3_REMY, run_cubic_fixed, run_phi_cubic
+from repro.phi import REFERENCE_POLICY, SharingMode
+from repro.transport import CubicParams
+
+
+def show(label, result):
+    metrics = result.metrics
+    print(f"{label:<28s} thr={metrics.throughput_mbps:5.2f} Mbps  "
+          f"delay={metrics.queueing_delay_ms:6.1f} ms  "
+          f"loss={metrics.loss_rate * 100:5.2f}%  "
+          f"P_l={metrics.power_l:7.4f}  "
+          f"({result.connections} connections)")
+
+
+def main():
+    duration = 40.0
+    print(f"workload: {TABLE3_REMY.description}")
+    print(f"duration: {duration:.0f} simulated seconds per run\n")
+
+    baseline = run_cubic_fixed(
+        CubicParams.default(), TABLE3_REMY, seed=7, duration_s=duration
+    )
+    show("Cubic (default params)", baseline)
+
+    practical = run_phi_cubic(
+        REFERENCE_POLICY, TABLE3_REMY, SharingMode.PRACTICAL,
+        seed=7, duration_s=duration,
+    )
+    show("Cubic-Phi (practical)", practical)
+
+    ideal = run_phi_cubic(
+        REFERENCE_POLICY, TABLE3_REMY, SharingMode.IDEAL,
+        seed=7, duration_s=duration,
+    )
+    show("Cubic-Phi (ideal oracle)", ideal)
+
+    gain = practical.metrics.power_l / max(baseline.metrics.power_l, 1e-9)
+    print(f"\nphi practical improves the P_l objective by {gain:.1f}x over "
+          f"the default settings")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Command-line interface for the Phi reproduction.
+
+Subcommands mirror the paper's experiments so results can be regenerated
+without writing Python:
+
+- ``repro-phi presets`` — list the built-in scenario presets;
+- ``repro-phi cubic`` — run fixed-parameter Cubic on a preset;
+- ``repro-phi phi`` — run Phi-coordinated Cubic (practical or ideal);
+- ``repro-phi incremental`` — the Figure-4 partial deployment;
+- ``repro-phi ipfix`` — the Section-2.1 sharing analysis;
+- ``repro-phi diagnose`` — the Figure-5 outage detection pipeline.
+
+Example::
+
+    python -m repro.cli phi --preset table3-remy --mode practical --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .diagnosis import (
+    OutageSpec,
+    TelemetryConfig,
+    TelemetryGenerator,
+    UnreachabilityDetector,
+    localize,
+)
+from .experiments import ALL_PRESETS, run_cubic_fixed, run_incremental_deployment, run_phi_cubic
+from .ipfix import (
+    EgressTrafficModel,
+    IpfixCollector,
+    IpfixSampler,
+    TrafficModelConfig,
+    sharing_stats,
+)
+from .phi import REFERENCE_POLICY, SharingMode
+from .transport import CubicParams
+
+PRESETS = {preset.name: preset for preset in ALL_PRESETS}
+
+
+def _preset_or_exit(name: str):
+    preset = PRESETS.get(name)
+    if preset is None:
+        print(f"unknown preset {name!r}; available: {', '.join(sorted(PRESETS))}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return preset
+
+
+def _print_metrics(label: str, result) -> None:
+    metrics = result.metrics
+    print(f"{label:<30s} thr={metrics.throughput_mbps:6.2f} Mbps  "
+          f"delay={metrics.queueing_delay_ms:7.1f} ms  "
+          f"loss={metrics.loss_rate * 100:5.2f}%  "
+          f"P_l={metrics.power_l:8.4f}  util={result.mean_utilization:4.2f}")
+
+
+def cmd_presets(args: argparse.Namespace) -> int:
+    for preset in ALL_PRESETS:
+        workload = (
+            "persistent bulk"
+            if preset.workload is None
+            else (f"on/off exp({preset.workload.mean_on_bytes / 1e3:.0f} KB) / "
+                  f"exp({preset.workload.mean_off_s} s)")
+        )
+        print(f"{preset.name:<24s} n={preset.config.n_senders:<4d} "
+              f"{preset.config.bottleneck_bandwidth_bps / 1e6:.0f} Mbps, "
+              f"rtt {preset.config.rtt_s * 1e3:.0f} ms, {workload}")
+        print(f"{'':<24s} {preset.description}")
+    return 0
+
+
+def _cubic_params(args: argparse.Namespace) -> CubicParams:
+    return CubicParams(
+        window_init=args.window_init,
+        initial_ssthresh=args.ssthresh,
+        beta=args.beta,
+    )
+
+
+def cmd_cubic(args: argparse.Namespace) -> int:
+    preset = _preset_or_exit(args.preset)
+    params = _cubic_params(args)
+    result = run_cubic_fixed(params, preset, seed=args.seed, duration_s=args.duration)
+    _print_metrics(f"cubic wI={params.window_init:.0f} "
+                   f"ssthr={params.initial_ssthresh:.0f} beta={params.beta}", result)
+    return 0
+
+
+def cmd_phi(args: argparse.Namespace) -> int:
+    preset = _preset_or_exit(args.preset)
+    mode = SharingMode(args.mode)
+    result = run_phi_cubic(
+        REFERENCE_POLICY, preset, mode, seed=args.seed, duration_s=args.duration
+    )
+    _print_metrics(f"cubic-phi ({mode.value})", result)
+    return 0
+
+
+def cmd_incremental(args: argparse.Namespace) -> int:
+    preset = _preset_or_exit(args.preset)
+    optimal = _cubic_params(args)
+    outcome = run_incremental_deployment(
+        optimal, preset, args.fraction, seed=args.seed, duration_s=args.duration
+    )
+    print(f"modified fraction: {outcome.modified_fraction:.0%}")
+    for label, metrics in [
+        ("modified", outcome.modified),
+        ("unmodified", outcome.unmodified),
+    ]:
+        print(f"  {label:<12s} thr={metrics.throughput_mbps:6.2f} Mbps  "
+              f"delay={metrics.queueing_delay_ms:7.1f} ms  "
+              f"P_l={metrics.power_l:8.4f}")
+    return 0
+
+
+def cmd_ipfix(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    model = EgressTrafficModel(TrafficModelConfig(), rng)
+    sampler = IpfixSampler(rng)
+    collector = IpfixCollector()
+    for batch in model.generate(args.minutes):
+        collector.ingest_many(sampler.sample_flows(batch))
+    stats = sharing_stats(collector)
+    print(f"{stats.observations} sampled flow observations over "
+          f"{args.minutes} minute(s)")
+    for threshold in (1, 5, 10, 50, 100, 500):
+        print(f"  sharing with >= {threshold:>3d} other flows: "
+              f"{stats.fraction_at_least(threshold):6.1%}")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    config = TelemetryConfig()
+    train = 2 * config.bins_per_day
+    outage = OutageSpec(
+        start_bin=train + 100,
+        duration_bins=args.outage_minutes // config.bin_minutes,
+        severity=args.severity,
+        asn=args.asn,
+        metro=args.metro,
+    )
+    generator = TelemetryGenerator(config, np.random.default_rng(args.seed), [outage])
+    series = generator.generate(train + config.bins_per_day)
+    dips = UnreachabilityDetector(config.bins_per_day).detect(series, train)
+    events = localize(dips, config.slice_keys())
+    print(f"injected: asn={args.asn} metro={args.metro} "
+          f"({args.outage_minutes} min, severity {args.severity:.0%})")
+    if not events:
+        print("no events detected")
+        return 1
+    for event in events:
+        minutes = event.duration_bins * config.bin_minutes
+        print(f"detected: {event.describe()} ({minutes} min, "
+              f"drop {event.mean_drop_fraction:.0%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-phi",
+        description="Reproduction CLI for 'Rethinking Networking for Five Computers'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list scenario presets").set_defaults(
+        func=cmd_presets
+    )
+
+    def add_run_args(p, with_params=True):
+        p.add_argument("--preset", default="table3-remy")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (default: preset duration)")
+        if with_params:
+            p.add_argument("--window-init", type=float, default=2.0,
+                           dest="window_init")
+            p.add_argument("--ssthresh", type=float, default=65536.0)
+            p.add_argument("--beta", type=float, default=0.2)
+
+    cubic = sub.add_parser("cubic", help="fixed-parameter Cubic run")
+    add_run_args(cubic)
+    cubic.set_defaults(func=cmd_cubic)
+
+    phi = sub.add_parser("phi", help="Phi-coordinated Cubic run")
+    add_run_args(phi, with_params=False)
+    phi.add_argument("--mode", choices=["practical", "ideal"], default="practical")
+    phi.set_defaults(func=cmd_phi)
+
+    incremental = sub.add_parser("incremental", help="Figure-4 partial deployment")
+    add_run_args(incremental)
+    incremental.set_defaults(
+        preset="fig4-incremental", window_init=16.0, ssthresh=64.0, beta=0.3
+    )
+    incremental.add_argument("--fraction", type=float, default=0.5)
+    incremental.set_defaults(func=cmd_incremental)
+
+    ipfix = sub.add_parser("ipfix", help="Section-2.1 sharing analysis")
+    ipfix.add_argument("--minutes", type=int, default=3)
+    ipfix.add_argument("--seed", type=int, default=21)
+    ipfix.set_defaults(func=cmd_ipfix)
+
+    diagnose = sub.add_parser("diagnose", help="Figure-5 outage pipeline")
+    diagnose.add_argument("--asn", default="isp-a")
+    diagnose.add_argument("--metro", default="nyc")
+    diagnose.add_argument("--outage-minutes", type=int, default=120)
+    diagnose.add_argument("--severity", type=float, default=0.9)
+    diagnose.add_argument("--seed", type=int, default=7)
+    diagnose.set_defaults(func=cmd_diagnose)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Problem diagnosis (Section 3.4): time-series anomaly detection on
+request volumes sliced by (AS, metro, service), and dimensional
+localization of unreachability events (Figure 5)."""
+
+from .detector import DetectedDip, DetectorConfig, UnreachabilityDetector
+from .events import OutageSpec, SliceKey, TelemetryConfig, TelemetryGenerator
+from .localize import (
+    DIMENSION_NAMES,
+    LocalizedEvent,
+    group_dips,
+    localize,
+    localize_group,
+)
+from .report import IncidentReport, render_all, render_incident, severity_grade
+from .timeseries import MAD_TO_SIGMA, BaselinePoint, SeasonalBaseline
+
+__all__ = [
+    "DIMENSION_NAMES",
+    "MAD_TO_SIGMA",
+    "BaselinePoint",
+    "DetectedDip",
+    "DetectorConfig",
+    "IncidentReport",
+    "LocalizedEvent",
+    "OutageSpec",
+    "SeasonalBaseline",
+    "SliceKey",
+    "TelemetryConfig",
+    "TelemetryGenerator",
+    "UnreachabilityDetector",
+    "group_dips",
+    "localize",
+    "localize_group",
+    "render_all",
+    "render_incident",
+    "severity_grade",
+]

@@ -1,0 +1,59 @@
+"""Experiment harness shared by tests, benchmarks, and examples."""
+
+from .dumbbell import (
+    ExperimentEnv,
+    FactoryForSlot,
+    ScenarioResult,
+    run_long_running_scenario,
+    run_onoff_scenario,
+    uniform_slots,
+)
+from .scenarios import (
+    ALL_PRESETS,
+    FIG2A_LOW_UTILIZATION,
+    FIG2B_HIGH_UTILIZATION,
+    FIG2C_LONG_RUNNING,
+    FIG4_INCREMENTAL,
+    TABLE3_REMY,
+    IncrementalResult,
+    ScenarioPreset,
+    cubic_evaluator,
+    run_cubic_fixed,
+    run_incremental_deployment,
+    run_phi_cubic,
+)
+from .table3 import (
+    Table3Result,
+    Table3Row,
+    make_table_evaluator,
+    run_remy_scenario,
+    run_table3,
+    train_tables,
+)
+
+__all__ = [
+    "ALL_PRESETS",
+    "FIG2A_LOW_UTILIZATION",
+    "FIG2B_HIGH_UTILIZATION",
+    "FIG2C_LONG_RUNNING",
+    "FIG4_INCREMENTAL",
+    "TABLE3_REMY",
+    "ExperimentEnv",
+    "FactoryForSlot",
+    "IncrementalResult",
+    "ScenarioPreset",
+    "ScenarioResult",
+    "Table3Result",
+    "Table3Row",
+    "cubic_evaluator",
+    "make_table_evaluator",
+    "run_cubic_fixed",
+    "run_incremental_deployment",
+    "run_long_running_scenario",
+    "run_onoff_scenario",
+    "run_phi_cubic",
+    "run_remy_scenario",
+    "run_table3",
+    "train_tables",
+    "uniform_slots",
+]

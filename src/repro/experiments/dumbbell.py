@@ -1,0 +1,216 @@
+"""The Figure-1 scenario runner.
+
+Everything in the evaluation happens on the dumbbell of Figure 1; this
+module builds the environment (topology + instrumentation), drives a
+workload over it with pluggable per-sender factories, and summarizes the
+outcome.  Benches, tests, and examples all go through these entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..metrics.summary import RunMetrics, summarize_connections
+from ..simnet.engine import Simulator
+from ..simnet.monitor import ActiveFlowTracker, LinkMonitor
+from ..simnet.packet import FlowIdAllocator
+from ..simnet.random import RngStreams
+from ..simnet.topology import DumbbellConfig, DumbbellTopology
+from ..transport.base import ConnectionStats
+from ..workload.longrunning import LongRunningFlow, launch_long_running_flows
+from ..workload.onoff import OnOffConfig, OnOffSource, SenderFactory
+
+
+@dataclass
+class ExperimentEnv:
+    """A fully-instrumented dumbbell ready to carry a workload."""
+
+    sim: Simulator
+    topology: DumbbellTopology
+    monitor: LinkMonitor
+    flow_tracker: ActiveFlowTracker
+    flow_ids: FlowIdAllocator
+    rngs: RngStreams
+
+    @classmethod
+    def create(
+        cls,
+        config: Optional[DumbbellConfig] = None,
+        seed: int = 0,
+        monitor_period_s: float = 0.1,
+    ) -> "ExperimentEnv":
+        """Build the topology and start the bottleneck monitor."""
+        sim = Simulator()
+        topology = DumbbellTopology(sim, config or DumbbellConfig())
+        monitor = LinkMonitor(sim, topology.bottleneck, period_s=monitor_period_s)
+        monitor.start()
+        return cls(
+            sim=sim,
+            topology=topology,
+            monitor=monitor,
+            flow_tracker=ActiveFlowTracker(),
+            flow_ids=FlowIdAllocator(),
+            rngs=RngStreams(seed),
+        )
+
+    @property
+    def bottleneck_capacity_bps(self) -> float:
+        """Capacity of the shared bottleneck."""
+        return self.topology.config.bottleneck_bandwidth_bps
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    metrics: RunMetrics
+    per_sender_stats: List[List[ConnectionStats]]
+    bottleneck_drop_rate: float
+    mean_utilization: float
+    duration_s: float
+    connections: int
+
+    def sender_metrics(self, indices: Sequence[int]) -> RunMetrics:
+        """Metrics restricted to a subset of sender slots (Figure 4)."""
+        stats: List[ConnectionStats] = []
+        for index in indices:
+            stats.extend(self.per_sender_stats[index])
+        return summarize_connections(
+            stats,
+            bottleneck_loss_rate=self.bottleneck_drop_rate,
+            mean_utilization=self.mean_utilization,
+        )
+
+
+FactoryForSlot = Callable[[int, ExperimentEnv], SenderFactory]
+
+
+def run_onoff_scenario(
+    factory_for_slot: FactoryForSlot,
+    *,
+    config: Optional[DumbbellConfig] = None,
+    workload: Optional[OnOffConfig] = None,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    include_unfinished: bool = False,
+) -> ScenarioResult:
+    """Run the paper's on/off workload over a fresh dumbbell.
+
+    ``factory_for_slot(index, env)`` supplies each sender slot's transport
+    factory, which is how Phi coordination, partial deployment, and plain
+    baselines are all expressed.
+    """
+    env = ExperimentEnv.create(config, seed)
+    workload = workload or OnOffConfig()
+    sources = []
+    for index in range(env.topology.config.n_senders):
+        factory = factory_for_slot(index, env)
+        source = OnOffSource(
+            env.sim,
+            env.topology.senders[index],
+            env.topology.receivers[index],
+            factory,
+            env.flow_ids,
+            env.rngs.stream(f"onoff-{index}"),
+            workload,
+            flow_tracker=env.flow_tracker,
+        )
+        source.start()
+        sources.append(source)
+
+    env.sim.run(until=duration_s)
+    for source in sources:
+        source.stop()
+
+    per_sender = [src.all_stats(include_active=include_unfinished) for src in sources]
+    return _summarize(env, per_sender, duration_s)
+
+
+def run_long_running_scenario(
+    factory_for_slot: FactoryForSlot,
+    *,
+    config: Optional[DumbbellConfig] = None,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    warmup_s: float = 5.0,
+) -> ScenarioResult:
+    """Run persistent bulk flows (the Figure 2c setting).
+
+    Flows start within the first second; statistics cover the whole run
+    but utilization is reported post-warmup so slow-start transients do
+    not dilute the steady-state picture.
+    """
+    env = ExperimentEnv.create(config, seed)
+    n = env.topology.config.n_senders
+    flows: List[LongRunningFlow] = []
+    for index in range(n):
+        factory = factory_for_slot(index, env)
+        flows.extend(
+            launch_long_running_flows(
+                env.sim,
+                [(env.topology.senders[index], env.topology.receivers[index])],
+                factory,
+                env.flow_ids,
+                env.rngs.stream(f"lr-{index}"),
+                flow_tracker=env.flow_tracker,
+            )
+        )
+    env.sim.run(until=duration_s)
+    per_sender = [[flow.finish()] for flow in flows]
+    result = _summarize(env, per_sender, duration_s)
+    # Recompute utilization excluding warm-up.
+    post_warmup = env.monitor.mean_utilization(since=warmup_s)
+    result.mean_utilization = post_warmup
+    result.metrics = RunMetrics(
+        throughput_mbps=result.metrics.throughput_mbps,
+        queueing_delay_ms=result.metrics.queueing_delay_ms,
+        loss_rate=result.metrics.loss_rate,
+        connections=result.metrics.connections,
+        total_bytes=result.metrics.total_bytes,
+        mean_rtt_ms=result.metrics.mean_rtt_ms,
+        mean_utilization=post_warmup,
+    )
+    return result
+
+
+def _summarize(
+    env: ExperimentEnv,
+    per_sender: List[List[ConnectionStats]],
+    duration_s: float,
+) -> ScenarioResult:
+    all_stats = [s for sender in per_sender for s in sender]
+    drop_rate = env.topology.bottleneck_queue.stats.drop_rate()
+    utilization = env.monitor.mean_utilization()
+    metrics = summarize_connections(
+        all_stats,
+        bottleneck_loss_rate=drop_rate,
+        mean_utilization=utilization,
+    )
+    return ScenarioResult(
+        metrics=metrics,
+        per_sender_stats=per_sender,
+        bottleneck_drop_rate=drop_rate,
+        mean_utilization=utilization,
+        duration_s=duration_s,
+        connections=len(all_stats),
+    )
+
+
+def uniform_slots(factory_builder: Callable[[ExperimentEnv], SenderFactory]) -> FactoryForSlot:
+    """All sender slots share one factory built once per environment.
+
+    The builder is invoked once per run (memoized on the env) so wrappers
+    that carry state — e.g. a Phi context server — are shared by all
+    senders of the run, as they should be.
+    """
+    cache: dict = {}
+
+    def for_slot(index: int, env: ExperimentEnv) -> SenderFactory:
+        key = id(env)
+        if key not in cache:
+            cache.clear()  # only ever one live env per runner call
+            cache[key] = factory_builder(env)
+        return cache[key]
+
+    return for_slot

@@ -1,0 +1,265 @@
+"""Named experiment scenarios and convenience runners.
+
+Encodes the paper's workload settings (Sections 2.2.1-2.2.4) as presets
+and provides one-call runners for each arm of the evaluation: fixed-
+parameter Cubic (sweep evaluator), Phi-coordinated Cubic in ideal and
+practical modes, and partial deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metrics.summary import RunMetrics
+from ..phi.client import (
+    SharingMode,
+    phi_cubic_factory,
+    plain_cubic_factory,
+)
+from ..phi.deployment import deployment_factories, split_stats
+from ..phi.optimizer import Evaluator
+from ..phi.policy import PolicyTable
+from ..phi.server import ContextServer, IdealContextOracle
+from ..metrics.summary import summarize_connections
+from ..simnet.topology import DumbbellConfig
+from ..transport.cubic import CubicParams
+from ..workload.onoff import OnOffConfig
+from .dumbbell import (
+    ExperimentEnv,
+    ScenarioResult,
+    run_long_running_scenario,
+    run_onoff_scenario,
+    uniform_slots,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioPreset:
+    """A (topology, workload, duration) bundle from the paper."""
+
+    name: str
+    config: DumbbellConfig
+    workload: Optional[OnOffConfig]
+    duration_s: float
+    description: str
+
+
+#: Figure 2a: on/off Cubic senders at low bottleneck utilization
+#: (mean connection length 500 KB, mean off 2 s).
+FIG2A_LOW_UTILIZATION = ScenarioPreset(
+    name="fig2a-low-utilization",
+    config=DumbbellConfig(n_senders=8),
+    workload=OnOffConfig(mean_on_bytes=500_000, mean_off_s=2.0),
+    duration_s=60.0,
+    description="Figure 2a: low link utilization, 500 KB / 2 s on-off",
+)
+
+#: Figure 2b: same workload shape, more senders -> high utilization.
+FIG2B_HIGH_UTILIZATION = ScenarioPreset(
+    name="fig2b-high-utilization",
+    config=DumbbellConfig(n_senders=24),
+    workload=OnOffConfig(mean_on_bytes=500_000, mean_off_s=2.0),
+    duration_s=60.0,
+    description="Figure 2b: high link utilization, 500 KB / 2 s on-off",
+)
+
+#: Figure 2c: long-running connections saturating the link (~99%).
+#: The paper uses 100; the preset keeps the dynamics with a tractable
+#: sender count (override n via the config for the full-scale run).
+FIG2C_LONG_RUNNING = ScenarioPreset(
+    name="fig2c-long-running",
+    config=DumbbellConfig(n_senders=40),
+    workload=None,
+    duration_s=60.0,
+    description="Figure 2c: persistent bulk flows, ~99% utilization",
+)
+
+#: Figure 4: incremental deployment at moderate utilization (the paper
+#: notes the unmodified senders' benefit diminishes as utilization goes
+#: higher, so the preset keeps the link out of saturation).
+FIG4_INCREMENTAL = ScenarioPreset(
+    name="fig4-incremental",
+    config=DumbbellConfig(n_senders=10),
+    workload=OnOffConfig(mean_on_bytes=500_000, mean_off_s=2.0),
+    duration_s=60.0,
+    description="Figure 4: half modified / half unmodified senders",
+)
+
+#: Table 3: "single bottleneck dumbbell topology with link speed 15 Mbps
+#: and round-trip time 150 ms with 8 senders, each alternating between
+#: flows of exponentially-distributed byte length (mean 100 KB) and
+#: exponentially-distributed off time (mean 0.5 s)".
+TABLE3_REMY = ScenarioPreset(
+    name="table3-remy",
+    config=DumbbellConfig(
+        n_senders=8, bottleneck_bandwidth_bps=15e6, rtt_s=0.150
+    ),
+    workload=OnOffConfig(mean_on_bytes=100_000, mean_off_s=0.5),
+    duration_s=60.0,
+    description="Table 3: Remy comparison workload",
+)
+
+ALL_PRESETS = (
+    FIG2A_LOW_UTILIZATION,
+    FIG2B_HIGH_UTILIZATION,
+    FIG2C_LONG_RUNNING,
+    FIG4_INCREMENTAL,
+    TABLE3_REMY,
+)
+
+
+# ----------------------------------------------------------------------
+# Fixed-parameter Cubic (the sweep arm of Figures 2 and 3)
+# ----------------------------------------------------------------------
+def run_cubic_fixed(
+    params: CubicParams,
+    preset: ScenarioPreset,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+) -> ScenarioResult:
+    """All senders run Cubic with one fixed parameter setting.
+
+    This is the paper's "simplified setting, where ... all the TCP Cubic
+    senders use the same parameter settings that is fixed for the
+    duration of the run".
+    """
+    slots = uniform_slots(lambda env: plain_cubic_factory(params))
+    duration = duration_s if duration_s is not None else preset.duration_s
+    if preset.workload is None:
+        return run_long_running_scenario(
+            slots, config=preset.config, duration_s=duration, seed=seed
+        )
+    return run_onoff_scenario(
+        slots,
+        config=preset.config,
+        workload=preset.workload,
+        duration_s=duration,
+        seed=seed,
+    )
+
+
+def cubic_evaluator(
+    preset: ScenarioPreset,
+    base_seed: int = 0,
+    duration_s: Optional[float] = None,
+) -> Evaluator:
+    """An :data:`~repro.phi.optimizer.Evaluator` for the Table-2 sweep.
+
+    Run ``i`` of every parameter setting shares seed ``base_seed + i`` so
+    the leave-one-out comparison sees identical workloads across settings.
+    """
+
+    def evaluate(params: CubicParams, run_index: int) -> RunMetrics:
+        result = run_cubic_fixed(
+            params, preset, seed=base_seed + run_index, duration_s=duration_s
+        )
+        return result.metrics
+
+    return evaluate
+
+
+# ----------------------------------------------------------------------
+# Phi-coordinated Cubic
+# ----------------------------------------------------------------------
+def run_phi_cubic(
+    policy: PolicyTable,
+    preset: ScenarioPreset,
+    mode: SharingMode = SharingMode.PRACTICAL,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+) -> ScenarioResult:
+    """All senders use Phi: context lookup at start, report at end.
+
+    ``SharingMode.PRACTICAL`` routes lookups through a
+    :class:`ContextServer` fed only by the minimal protocol;
+    ``SharingMode.IDEAL`` gives senders ground truth from the link
+    instrumentation.
+    """
+    if mode is SharingMode.NONE:
+        raise ValueError("use run_cubic_fixed for the no-sharing baseline")
+
+    def build(env: ExperimentEnv):
+        if mode is SharingMode.IDEAL:
+            source = IdealContextOracle(env.sim, env.monitor, env.flow_tracker)
+        else:
+            source = ContextServer(env.sim, env.bottleneck_capacity_bps)
+        return phi_cubic_factory(source, policy, now=lambda: env.sim.now)
+
+    duration = duration_s if duration_s is not None else preset.duration_s
+    if preset.workload is None:
+        return run_long_running_scenario(
+            uniform_slots(build),
+            config=preset.config,
+            duration_s=duration,
+            seed=seed,
+        )
+    return run_onoff_scenario(
+        uniform_slots(build),
+        config=preset.config,
+        workload=preset.workload,
+        duration_s=duration,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental deployment (Figure 4)
+# ----------------------------------------------------------------------
+@dataclass
+class IncrementalResult:
+    """Figure-4 outcome: overall plus per-population metrics."""
+
+    overall: ScenarioResult
+    modified: RunMetrics
+    unmodified: RunMetrics
+    modified_fraction: float
+
+
+def run_incremental_deployment(
+    optimal_params: CubicParams,
+    preset: ScenarioPreset = FIG4_INCREMENTAL,
+    modified_fraction: float = 0.5,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+) -> IncrementalResult:
+    """A fraction of senders adopt the coordinated-optimal parameters.
+
+    Modified senders use ``optimal_params`` ("the parameter setting that
+    would have been optimal had all senders been cooperating"); the rest
+    keep the Table-1 defaults.
+    """
+    if preset.workload is None:
+        raise ValueError("incremental deployment is defined on on/off workloads")
+    n = preset.config.n_senders
+    assignments = deployment_factories(
+        n,
+        modified_fraction,
+        modified_factory=plain_cubic_factory(optimal_params),
+        unmodified_factory=plain_cubic_factory(CubicParams.default()),
+    )
+
+    def for_slot(index: int, env: ExperimentEnv):
+        return assignments[index].factory
+
+    duration = duration_s if duration_s is not None else preset.duration_s
+    overall = run_onoff_scenario(
+        for_slot,
+        config=preset.config,
+        workload=preset.workload,
+        duration_s=duration,
+        seed=seed,
+    )
+    modified_stats, unmodified_stats = split_stats(
+        assignments, overall.per_sender_stats
+    )
+    kwargs = dict(
+        bottleneck_loss_rate=overall.bottleneck_drop_rate,
+        mean_utilization=overall.mean_utilization,
+    )
+    return IncrementalResult(
+        overall=overall,
+        modified=summarize_connections(modified_stats, **kwargs),
+        unmodified=summarize_connections(unmodified_stats, **kwargs),
+        modified_fraction=modified_fraction,
+    )

@@ -1,0 +1,125 @@
+"""Synthetic egress traffic model for a large cloud provider.
+
+Substitutes the paper's proprietary IPFIX feed (documented in DESIGN.md).
+The model captures the two properties Section 2.1's numbers rest on:
+
+- **spatial skew**: destination /24 subnets have Zipf-like popularity (a
+  handful of eyeball-ISP subnets receive a large share of flows — the
+  "five computers" effect seen from the provider's egress), and
+- **heavy-tailed flow sizes**: most flows are short, some are long video
+  sessions, so per-flow packet counts follow a Pareto distribution.
+
+Flow arrivals are Poisson within each minute, split across subnets by the
+popularity weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from .records import EgressFlow
+
+
+@dataclass(frozen=True)
+class TrafficModelConfig:
+    """Knobs of the synthetic egress model.
+
+    Defaults are calibrated so the full pipeline (model -> 1-in-4096
+    sampling -> /24+minute aggregation) lands near the paper's §2.1
+    shape: ~50% of sampled flows sharing their slot with >= 5 others and
+    ~10-15% with >= 100 others.
+    """
+
+    n_subnets: int = 8_000
+    zipf_exponent: float = 1.05
+    flows_per_minute: float = 25_000.0
+    mean_duration_s: float = 8.0
+    pareto_shape: float = 1.3
+    min_packets: int = 8
+    mean_packets: float = 400.0
+    n_servers: int = 4_669  # the Netflix CDN server count from the paper
+
+    def __post_init__(self) -> None:
+        if self.n_subnets < 1:
+            raise ValueError(f"n_subnets must be >= 1: {self.n_subnets}")
+        if self.zipf_exponent <= 0:
+            raise ValueError(f"zipf_exponent must be > 0: {self.zipf_exponent}")
+        if self.flows_per_minute <= 0:
+            raise ValueError(
+                f"flows_per_minute must be > 0: {self.flows_per_minute}"
+            )
+        if self.pareto_shape <= 1.0:
+            raise ValueError(
+                f"pareto_shape must be > 1 for a finite mean: {self.pareto_shape}"
+            )
+
+
+class EgressTrafficModel:
+    """Generates :class:`EgressFlow` streams minute by minute."""
+
+    def __init__(self, config: TrafficModelConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        ranks = np.arange(1, config.n_subnets + 1, dtype=float)
+        weights = ranks ** (-config.zipf_exponent)
+        self._subnet_weights = weights / weights.sum()
+
+    def subnet_ip(self, subnet_index: int, host: int) -> str:
+        """A host address inside synthetic subnet ``subnet_index``."""
+        if not 0 <= subnet_index < self.config.n_subnets:
+            raise ValueError(f"subnet index out of range: {subnet_index}")
+        high, low = divmod(subnet_index, 256)
+        return f"100.{high}.{low}.{host}"
+
+    def server_ip(self, server_index: int) -> str:
+        """The provider-side (source) address of a server."""
+        high, low = divmod(server_index % 65_536, 256)
+        return f"203.{high}.{low}.1"
+
+    def _draw_packets(self, count: int) -> np.ndarray:
+        cfg = self.config
+        # Pareto with mean ~= mean_packets: scale = mean * (a-1)/a.
+        scale = cfg.mean_packets * (cfg.pareto_shape - 1.0) / cfg.pareto_shape
+        draws = (self.rng.pareto(cfg.pareto_shape, count) + 1.0) * scale
+        return np.maximum(cfg.min_packets, draws.astype(np.int64))
+
+    def generate_minute(self, minute: int) -> List[EgressFlow]:
+        """All flows *starting* within minute ``minute``."""
+        cfg = self.config
+        n_flows = int(self.rng.poisson(cfg.flows_per_minute))
+        if n_flows == 0:
+            return []
+        subnet_indices = self.rng.choice(
+            cfg.n_subnets, size=n_flows, p=self._subnet_weights
+        )
+        starts = minute * 60.0 + self.rng.uniform(0.0, 60.0, size=n_flows)
+        durations = self.rng.exponential(cfg.mean_duration_s, size=n_flows)
+        packets = self._draw_packets(n_flows)
+        hosts = self.rng.integers(1, 255, size=n_flows)
+        dst_ports = self.rng.integers(1024, 65_535, size=n_flows)
+        servers = self.rng.integers(0, cfg.n_servers, size=n_flows)
+
+        flows = []
+        for i in range(n_flows):
+            flows.append(
+                EgressFlow(
+                    src_ip=self.server_ip(int(servers[i])),
+                    src_port=443,
+                    dst_ip=self.subnet_ip(int(subnet_indices[i]), int(hosts[i])),
+                    dst_port=int(dst_ports[i]),
+                    start_s=float(starts[i]),
+                    duration_s=float(durations[i]),
+                    packets=int(packets[i]),
+                )
+            )
+        return flows
+
+    def generate(self, n_minutes: int) -> Iterator[List[EgressFlow]]:
+        """Yield per-minute flow batches for ``n_minutes`` minutes."""
+        if n_minutes < 1:
+            raise ValueError(f"n_minutes must be >= 1: {n_minutes}")
+        for minute in range(n_minutes):
+            yield self.generate_minute(minute)

@@ -1,0 +1,47 @@
+"""Network power metrics.
+
+The paper's objective: "we start with the network power metric,
+P = r/d, where r is the throughput or data rate, and d is the delay, and
+extend it to also incorporate the packet loss rate, l, yielding the new
+metric P_l = r(1-l)/d.  We use P_l as the metric to optimize in the case
+of TCP Cubic and log(P) in the case of Remy."
+
+Units: throughput in Mbit/s and delay in milliseconds by convention, so
+typical values land in a readable range; all comparisons in this
+repository use consistent units so the scale is immaterial.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Delay floor to keep P finite when queueing delay is ~0 (1 microsecond
+#: expressed in ms).
+MIN_DELAY_MS = 1e-3
+
+
+def power(throughput_mbps: float, delay_ms: float) -> float:
+    """Kleinrock network power P = r / d."""
+    if throughput_mbps < 0:
+        raise ValueError(f"throughput must be >= 0, got {throughput_mbps}")
+    if delay_ms < 0:
+        raise ValueError(f"delay must be >= 0, got {delay_ms}")
+    return throughput_mbps / max(delay_ms, MIN_DELAY_MS)
+
+
+def power_with_loss(throughput_mbps: float, delay_ms: float, loss_rate: float) -> float:
+    """The paper's loss-extended power, P_l = r (1 - l) / d."""
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    return power(throughput_mbps, delay_ms) * (1.0 - loss_rate)
+
+
+def log_power(throughput_mbps: float, delay_ms: float) -> float:
+    """Remy's objective, log(P) = log(r / d).
+
+    Returns -inf when throughput is zero (a flow that moved no data).
+    """
+    value = power(throughput_mbps, delay_ms)
+    if value <= 0:
+        return -math.inf
+    return math.log(value)

@@ -1,0 +1,78 @@
+"""Phi: information sharing and coordination for the "five computers".
+
+The paper's contribution.  Senders of a single large entity share their
+network experience through a :class:`ContextServer` (or, as an upper
+bound, an :class:`IdealContextOracle`), obtain a congestion-context
+snapshot (u, q, n) when starting a connection, and key a
+:class:`PolicyTable` of sweep-derived optimal TCP parameters with it.
+"""
+
+from .aggregation import (
+    Aggregator,
+    SecureCongestionAggregation,
+    make_shares,
+)
+from .context import (
+    FAIR_SHARE_THRESHOLDS_MBPS,
+    QUEUE_DELAY_THRESHOLDS,
+    UTILIZATION_THRESHOLDS,
+    CongestionContext,
+    CongestionLevel,
+)
+from .client import (
+    SharingMode,
+    phi_cubic_factory,
+    phi_remy_factory,
+    plain_cubic_factory,
+    plain_remy_factory,
+)
+from .deployment import (
+    DeploymentMode,
+    SenderAssignment,
+    deployment_factories,
+    split_stats,
+)
+from .optimizer import (
+    CUBIC_SWEEP_GRID,
+    LeaveOneOutRecord,
+    SweepResult,
+    build_policy,
+    leave_one_out,
+    select_optimal,
+    sweep,
+)
+from .policy import REFERENCE_POLICY, PolicyDecision, PolicyTable
+from .server import ConnectionReport, ContextServer, IdealContextOracle
+
+__all__ = [
+    "Aggregator",
+    "CUBIC_SWEEP_GRID",
+    "FAIR_SHARE_THRESHOLDS_MBPS",
+    "QUEUE_DELAY_THRESHOLDS",
+    "SecureCongestionAggregation",
+    "make_shares",
+    "REFERENCE_POLICY",
+    "UTILIZATION_THRESHOLDS",
+    "CongestionContext",
+    "CongestionLevel",
+    "ConnectionReport",
+    "ContextServer",
+    "DeploymentMode",
+    "IdealContextOracle",
+    "LeaveOneOutRecord",
+    "PolicyDecision",
+    "PolicyTable",
+    "SenderAssignment",
+    "SharingMode",
+    "SweepResult",
+    "build_policy",
+    "deployment_factories",
+    "leave_one_out",
+    "phi_cubic_factory",
+    "phi_remy_factory",
+    "plain_cubic_factory",
+    "plain_remy_factory",
+    "select_optimal",
+    "split_stats",
+    "sweep",
+]

@@ -1,0 +1,145 @@
+"""The congestion context: Phi's shared view of the network weather.
+
+Section 2.2.2: "the congestion context can be characterized in terms of
+(i) the utilization of the bottleneck link (u), (ii) the queue occupancy
+(q), and (iii) the number of competing senders (n)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class CongestionLevel(Enum):
+    """Coarse weather report derived from the raw (u, q, n) context.
+
+    The levels key the parameter-policy table: "when any of these metrics
+    is high, that would mean a high level of congestion and would call for
+    more conservative behavior."
+    """
+
+    LOW = "low"
+    MODERATE = "moderate"
+    HIGH = "high"
+    SEVERE = "severe"
+
+    @property
+    def rank(self) -> int:
+        """Ordering: LOW < MODERATE < HIGH < SEVERE."""
+        return _LEVEL_RANK[self]
+
+
+_LEVEL_RANK = {
+    CongestionLevel.LOW: 0,
+    CongestionLevel.MODERATE: 1,
+    CongestionLevel.HIGH: 2,
+    CongestionLevel.SEVERE: 3,
+}
+
+#: Utilization thresholds between LOW/MODERATE/HIGH/SEVERE.
+UTILIZATION_THRESHOLDS = (0.35, 0.65, 0.90)
+
+#: Queueing-delay thresholds (seconds) that can escalate the level.
+QUEUE_DELAY_THRESHOLDS = (0.010, 0.050, 0.200)
+
+#: Per-connection fair-share thresholds (Mbit/s) below which the sender
+#: count ``n`` alone implies MODERATE/HIGH/SEVERE congestion.  Unlike the
+#: report-driven ``u`` and ``q`` estimates, ``n`` is known to the context
+#: server in real time (every lookup registers a connection), so this
+#: bucket reacts instantly to sender bursts.
+FAIR_SHARE_THRESHOLDS_MBPS = (8.0, 2.0, 0.5)
+
+
+@dataclass(frozen=True)
+class CongestionContext:
+    """One snapshot of the shared network weather.
+
+    Attributes
+    ----------
+    utilization:
+        Bottleneck link utilization ``u`` in [0, 1].
+    queue_delay_s:
+        Queueing-delay proxy ``q``: RTT inflation over the minimum RTT.
+    competing_senders:
+        Number of concurrently active connections ``n``.
+    timestamp:
+        Simulation time the context was computed at (staleness tracking).
+    """
+
+    utilization: float
+    queue_delay_s: float
+    competing_senders: float
+    timestamp: float = 0.0
+    fair_share_mbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1]: {self.utilization}")
+        if self.queue_delay_s < 0:
+            raise ValueError(f"queue_delay_s must be >= 0: {self.queue_delay_s}")
+        if self.competing_senders < 0:
+            raise ValueError(
+                f"competing_senders must be >= 0: {self.competing_senders}"
+            )
+        if self.fair_share_mbps is not None and self.fair_share_mbps < 0:
+            raise ValueError(
+                f"fair_share_mbps must be >= 0: {self.fair_share_mbps}"
+            )
+
+    def level(self) -> CongestionLevel:
+        """Discretize (u, q, n) into a :class:`CongestionLevel`.
+
+        The level is the *worst* across the per-metric buckets — "when any
+        of these metrics is high, that would mean a high level [of]
+        congestion".  The ``n`` bucket uses the per-connection fair share
+        when the context carries one.
+        """
+        by_util = _bucket(self.utilization, UTILIZATION_THRESHOLDS)
+        by_queue = _bucket(self.queue_delay_s, QUEUE_DELAY_THRESHOLDS)
+        level = max(by_util, by_queue, key=lambda lvl: lvl.rank)
+        if self.fair_share_mbps is not None:
+            by_share = _bucket_descending(
+                self.fair_share_mbps, FAIR_SHARE_THRESHOLDS_MBPS
+            )
+            level = max(level, by_share, key=lambda lvl: lvl.rank)
+        return level
+
+    def is_stale(self, now: float, max_age_s: float) -> bool:
+        """Whether this snapshot is older than ``max_age_s``."""
+        return (now - self.timestamp) > max_age_s
+
+    @classmethod
+    def idle(cls, timestamp: float = 0.0) -> "CongestionContext":
+        """The context of a quiet network."""
+        return cls(
+            utilization=0.0,
+            queue_delay_s=0.0,
+            competing_senders=0.0,
+            timestamp=timestamp,
+        )
+
+
+_LEVELS_ASCENDING = (
+    CongestionLevel.LOW,
+    CongestionLevel.MODERATE,
+    CongestionLevel.HIGH,
+    CongestionLevel.SEVERE,
+)
+
+
+def _bucket(value: float, thresholds) -> CongestionLevel:
+    """Bucket where *larger* values mean more congestion."""
+    for level, threshold in zip(_LEVELS_ASCENDING, thresholds):
+        if value < threshold:
+            return level
+    return CongestionLevel.SEVERE
+
+
+def _bucket_descending(value: float, thresholds) -> CongestionLevel:
+    """Bucket where *smaller* values mean more congestion (fair share)."""
+    for level, threshold in zip(_LEVELS_ASCENDING, thresholds):
+        if value > threshold:
+            return level
+    return CongestionLevel.SEVERE

@@ -1,0 +1,258 @@
+"""The Phi context server.
+
+Section 2.2.2: "we envisage a *context server*, say within a domain
+(i.e., within one of the 'five' computers), that serves as the repository
+of shared state from which the congestion context can be computed.
+Information from senders on when and how much data is transferred would
+enable estimation of u and n, while the difference between the current
+RTT and the minimum RTT would give an indication of q."
+
+Two operating modes are provided:
+
+- **practical** (:class:`ContextServer`): the server only learns from the
+  minimal protocol — a lookup when a connection starts and a report when
+  it ends — and estimates (u, q, n) from those reports.
+- **ideal** (:class:`IdealContextOracle`): wired straight to the
+  simulator's bottleneck instrumentation, giving every sender
+  "up-to-the-minute" ground truth.  This is the upper bound the paper
+  calls Remy-Phi-ideal / the fully-shared Cubic setting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from ..simnet.engine import Simulator
+from ..simnet.monitor import ActiveFlowTracker, LinkMonitor
+from ..transport.base import ConnectionStats
+from .context import CongestionContext
+
+
+@dataclass(frozen=True)
+class ConnectionReport:
+    """What a sender tells the context server when a connection ends."""
+
+    flow_id: int
+    reported_at: float
+    bytes_transferred: int
+    duration_s: float
+    mean_rtt_s: float
+    min_rtt_s: float
+    loss_indicator: float
+
+    @classmethod
+    def from_stats(cls, stats: ConnectionStats, reported_at: float) -> "ConnectionReport":
+        """Build a report from a connection's final statistics."""
+        min_rtt = stats.min_rtt if stats.rtt_samples else 0.0
+        return cls(
+            flow_id=stats.flow_id,
+            reported_at=reported_at,
+            bytes_transferred=stats.bytes_goodput,
+            duration_s=stats.duration,
+            mean_rtt_s=stats.mean_rtt,
+            min_rtt_s=min_rtt,
+            loss_indicator=stats.loss_indicator,
+        )
+
+    @property
+    def queue_delay_s(self) -> float:
+        """RTT inflation this connection observed (the ``q`` signal)."""
+        if self.min_rtt_s <= 0:
+            return 0.0
+        return max(0.0, self.mean_rtt_s - self.min_rtt_s)
+
+
+class ContextServer:
+    """Practical shared-state repository fed by start/end protocol messages.
+
+    Parameters
+    ----------
+    sim:
+        Simulator (for timestamps).
+    bottleneck_capacity_bps:
+        Known egress capacity toward the destination aggregate (a cloud
+        provider knows its provisioned WAN capacity).  Utilization is
+        estimated as recently-reported goodput over this capacity.
+    window_s:
+        Sliding estimation window.  Reports older than this age out.
+    ewma_alpha:
+        Smoothing for the queue-delay and loss estimates.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bottleneck_capacity_bps: float,
+        *,
+        window_s: float = 10.0,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if bottleneck_capacity_bps <= 0:
+            raise ValueError(
+                f"capacity must be positive: {bottleneck_capacity_bps}"
+            )
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive: {window_s}")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1]: {ewma_alpha}")
+        self.sim = sim
+        self.capacity_bps = bottleneck_capacity_bps
+        self.window_s = window_s
+        self.ewma_alpha = ewma_alpha
+
+        self._reports: Deque[ConnectionReport] = deque()
+        self._active_connections = 0
+        self._queue_delay_ewma = 0.0
+        self._loss_ewma = 0.0
+        self._have_estimate = False
+
+        self.lookups = 0
+        self.reports_received = 0
+
+    # ------------------------------------------------------------------
+    # Protocol: lookup at connection start, report at connection end.
+    # ------------------------------------------------------------------
+    def lookup(self) -> CongestionContext:
+        """Connection-start query: the current congestion context.
+
+        Also registers the connection as active (the lookup itself tells
+        the server a new connection is starting, contributing to ``n``).
+        """
+        self.lookups += 1
+        self._active_connections += 1
+        return self.current_context()
+
+    def report(self, report: ConnectionReport) -> None:
+        """Connection-end report: fold the connection's experience in."""
+        self.reports_received += 1
+        self._active_connections = max(0, self._active_connections - 1)
+        self._reports.append(report)
+        self._expire_old_reports()
+        alpha = self.ewma_alpha
+        if not self._have_estimate:
+            self._queue_delay_ewma = report.queue_delay_s
+            self._loss_ewma = report.loss_indicator
+            self._have_estimate = True
+        else:
+            self._queue_delay_ewma = (
+                (1 - alpha) * self._queue_delay_ewma + alpha * report.queue_delay_s
+            )
+            self._loss_ewma = (
+                (1 - alpha) * self._loss_ewma + alpha * report.loss_indicator
+            )
+
+    def report_stats(self, stats: ConnectionStats) -> None:
+        """Convenience: build and submit a report from final stats."""
+        self.report(ConnectionReport.from_stats(stats, self.sim.now))
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def _expire_old_reports(self) -> None:
+        horizon = self.sim.now - self.window_s
+        while self._reports and self._reports[0].reported_at < horizon:
+            self._reports.popleft()
+
+    def estimated_utilization(self) -> float:
+        """u: recently reported goodput over the known capacity.
+
+        Each report contributes the portion of its transfer that overlaps
+        the sliding window, so long connections are not over-counted.
+        """
+        self._expire_old_reports()
+        window_start = max(0.0, self.sim.now - self.window_s)
+        window_len = max(1e-9, self.sim.now - window_start)
+        bits = 0.0
+        for report in self._reports:
+            conn_start = report.reported_at - report.duration_s
+            overlap = min(report.reported_at, self.sim.now) - max(
+                conn_start, window_start
+            )
+            if overlap <= 0 or report.duration_s <= 0:
+                continue
+            fraction = min(1.0, overlap / report.duration_s)
+            bits += report.bytes_transferred * 8.0 * fraction
+        return min(1.0, bits / (self.capacity_bps * window_len))
+
+    def estimated_queue_delay(self) -> float:
+        """q: EWMA of reported RTT inflation."""
+        return self._queue_delay_ewma
+
+    def estimated_loss(self) -> float:
+        """EWMA of reported loss indicators (informs conservative policies)."""
+        return self._loss_ewma
+
+    @property
+    def active_connections(self) -> int:
+        """n: connections that looked up but have not yet reported back."""
+        return self._active_connections
+
+    def current_context(self) -> CongestionContext:
+        """Assemble the (u, q, n) snapshot from the practical estimates.
+
+        ``n`` (and the fair share derived from it) is exact in real time:
+        the server counts lookups that have not reported back.
+        """
+        n = self._active_connections
+        fair_share = self.capacity_bps / max(1, n) / 1e6
+        return CongestionContext(
+            utilization=self.estimated_utilization(),
+            queue_delay_s=self.estimated_queue_delay(),
+            competing_senders=float(n),
+            timestamp=self.sim.now,
+            fair_share_mbps=fair_share,
+        )
+
+
+class IdealContextOracle:
+    """Ground-truth context source (the paper's "ideal" setting).
+
+    Reads the bottleneck's :class:`LinkMonitor` and the
+    :class:`ActiveFlowTracker` directly, so every lookup returns
+    up-to-the-minute truth with no estimation error or staleness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        monitor: LinkMonitor,
+        flow_tracker: Optional[ActiveFlowTracker] = None,
+        *,
+        window: int = 10,
+    ) -> None:
+        self.sim = sim
+        self.monitor = monitor
+        self.flow_tracker = flow_tracker
+        self.window = window
+        self.lookups = 0
+
+    def lookup(self) -> CongestionContext:
+        """Connection-start query (same protocol surface as the server)."""
+        self.lookups += 1
+        return self.current_context()
+
+    def report(self, report: ConnectionReport) -> None:
+        """Reports are accepted for interface parity but unnecessary."""
+
+    def report_stats(self, stats: ConnectionStats) -> None:
+        """Interface parity with :class:`ContextServer`."""
+
+    def current_context(self) -> CongestionContext:
+        """Snapshot straight from the link instrumentation."""
+        queue_bytes = self.monitor.current_queue_bytes(self.window)
+        queue_delay = queue_bytes * 8.0 / self.monitor.link.bandwidth_bps
+        n = float(self.flow_tracker.active_flows) if self.flow_tracker else 0.0
+        fair_share = self.monitor.link.bandwidth_bps / max(1.0, n) / 1e6
+        return CongestionContext(
+            utilization=self.monitor.current_utilization(self.window),
+            queue_delay_s=queue_delay,
+            competing_senders=n,
+            timestamp=self.sim.now,
+            fair_share_mbps=fair_share,
+        )
+
+    def utilization_provider(self) -> Callable[[], float]:
+        """A live ``u`` callable for Remy-Phi-ideal memory tracking."""
+        return lambda: self.monitor.current_utilization(self.window)

@@ -1,0 +1,77 @@
+"""Observation store for performance prediction.
+
+Section 3.5: "the large volume of aggregate network performance data
+available even within a single cloud provider would ... enable effective
+performance prediction".  The store indexes past transfer/call
+observations by network location (client AS + metro) so predictions can
+be made from the experience of *other* clients in the same location.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+LocationKey = Tuple[str, str]
+"""(client AS, metro)."""
+
+
+@dataclass(frozen=True)
+class PerfObservation:
+    """One completed transfer or call, as recorded by a server."""
+
+    location: LocationKey
+    timestamp: float
+    throughput_mbps: float
+    rtt_ms: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if self.throughput_mbps < 0:
+            raise ValueError(f"throughput must be >= 0: {self.throughput_mbps}")
+        if self.rtt_ms < 0:
+            raise ValueError(f"rtt must be >= 0: {self.rtt_ms}")
+        if not 0 <= self.loss_rate <= 1:
+            raise ValueError(f"loss_rate must be in [0, 1]: {self.loss_rate}")
+
+
+class ObservationStore:
+    """Bounded per-location history of performance observations."""
+
+    def __init__(self, max_per_location: int = 10_000) -> None:
+        if max_per_location < 1:
+            raise ValueError(f"max_per_location must be >= 1: {max_per_location}")
+        self.max_per_location = max_per_location
+        self._by_location: Dict[LocationKey, Deque[PerfObservation]] = defaultdict(
+            lambda: deque(maxlen=self.max_per_location)
+        )
+        self.total_observations = 0
+
+    def record(self, observation: PerfObservation) -> None:
+        """Store one observation."""
+        self._by_location[observation.location].append(observation)
+        self.total_observations += 1
+
+    def recent(
+        self,
+        location: LocationKey,
+        *,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[PerfObservation]:
+        """Observations for ``location``, newest last."""
+        observations = list(self._by_location.get(location, ()))
+        if since is not None:
+            observations = [o for o in observations if o.timestamp >= since]
+        if limit is not None:
+            observations = observations[-limit:]
+        return observations
+
+    def sample_count(self, location: LocationKey) -> int:
+        """How many observations are held for ``location``."""
+        return len(self._by_location.get(location, ()))
+
+    def locations(self) -> List[LocationKey]:
+        """All locations with at least one observation."""
+        return list(self._by_location)

@@ -1,0 +1,115 @@
+"""Ensemble-level prioritization weights (Section 3.3).
+
+"A single entity could have some of its flows be more (or less)
+aggressive than others (say based on their 'importance'), while still
+ensuring that the ensemble of flows remains TCP-friendly."
+
+An :class:`EnsembleAllocator` turns per-flow importance scores into
+aggressiveness *weights* that sum to the ensemble's flow count, so the
+ensemble behaves in aggregate like the same number of standard
+TCP-friendly flows while shifting capacity toward important flows —
+the cross-host generalization of TCP Session / Congestion Manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class FlowClass:
+    """An importance class, e.g. HD video vs bulk backup."""
+
+    name: str
+    importance: float
+
+    def __post_init__(self) -> None:
+        if self.importance <= 0:
+            raise ValueError(f"importance must be positive: {self.importance}")
+
+
+@dataclass(frozen=True)
+class WeightAssignment:
+    """The aggressiveness weight assigned to one flow."""
+
+    flow_id: int
+    flow_class: str
+    weight: float
+
+
+class EnsembleAllocator:
+    """Assigns TCP-friendliness-preserving weights across an ensemble."""
+
+    def __init__(
+        self,
+        classes: Sequence[FlowClass],
+        *,
+        min_weight: float = 0.1,
+        max_weight: float = 8.0,
+    ) -> None:
+        if not classes:
+            raise ValueError("at least one flow class is required")
+        if min_weight <= 0 or max_weight < min_weight:
+            raise ValueError(
+                f"invalid weight bounds: [{min_weight}, {max_weight}]"
+            )
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names: {names}")
+        self._classes: Dict[str, FlowClass] = {c.name: c for c in classes}
+        self.min_weight = min_weight
+        self.max_weight = max_weight
+
+    def class_names(self) -> List[str]:
+        """Registered class names."""
+        return list(self._classes)
+
+    def allocate(self, flows: Mapping[int, str]) -> List[WeightAssignment]:
+        """Weights for ``{flow_id: class_name}``, normalized to sum to n.
+
+        The normalization is the TCP-friendliness invariant: n flows with
+        weights summing to n consume, in aggregate, the fair share of n
+        standard flows under AIMD-style sharing.
+        """
+        if not flows:
+            return []
+        unknown = {name for name in flows.values()} - set(self._classes)
+        if unknown:
+            raise ValueError(f"unknown flow classes: {sorted(unknown)}")
+
+        raw = {
+            flow_id: self._classes[name].importance
+            for flow_id, name in flows.items()
+        }
+        n = len(raw)
+        total = sum(raw.values())
+        assignments = []
+        for flow_id, name in flows.items():
+            weight = raw[flow_id] / total * n
+            weight = max(self.min_weight, min(self.max_weight, weight))
+            assignments.append(
+                WeightAssignment(flow_id=flow_id, flow_class=name, weight=weight)
+            )
+        # Clamping can disturb the sum; renormalize once within bounds.
+        weight_sum = sum(a.weight for a in assignments)
+        scale = n / weight_sum
+        rescaled = []
+        for assignment in assignments:
+            weight = assignment.weight * scale
+            weight = max(self.min_weight, min(self.max_weight, weight))
+            rescaled.append(
+                WeightAssignment(
+                    flow_id=assignment.flow_id,
+                    flow_class=assignment.flow_class,
+                    weight=weight,
+                )
+            )
+        return rescaled
+
+    def ensemble_friendly(self, assignments: Sequence[WeightAssignment], tol: float = 0.05) -> bool:
+        """Check the invariant: weights sum to ~n (within ``tol``)."""
+        if not assignments:
+            return True
+        total = sum(a.weight for a in assignments)
+        return abs(total - len(assignments)) <= tol * len(assignments)

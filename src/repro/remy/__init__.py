@@ -1,0 +1,16 @@
+"""Remy: machine-learned congestion control (rule tables and trainer)."""
+
+from .memory import DIMENSIONS, DOMAIN, EWMA_ALPHA, Memory, MemoryTracker
+from .whisker import ACTION_BOUNDS, Action, Whisker, WhiskerTable
+
+__all__ = [
+    "ACTION_BOUNDS",
+    "DIMENSIONS",
+    "DOMAIN",
+    "EWMA_ALPHA",
+    "Action",
+    "Memory",
+    "MemoryTracker",
+    "Whisker",
+    "WhiskerTable",
+]

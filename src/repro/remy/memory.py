@@ -1,0 +1,118 @@
+"""RemyCC sender memory (feature vector).
+
+Remy's congestion controller maps a small "memory" of recent observations
+to an action.  We keep the three features of the original paper —
+``ack_ewma`` (EWMA of ACK interarrival times), ``send_ewma`` (EWMA of the
+sender timestamps echoed in ACKs), and ``rtt_ratio`` (last RTT over
+minimum RTT) — and add the paper's Phi extension: ``util``, the shared
+bottleneck-link utilization ("we extend the context (or 'memory' in Remy
+parlance) maintained by each Remy sender with an additional dimension
+corresponding to the bottleneck link utilization, u").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: EWMA gain used for both interarrival averages, as in Remy.
+EWMA_ALPHA = 0.125
+
+#: Feature names, in canonical order.
+DIMENSIONS: Tuple[str, ...] = ("ack_ewma", "send_ewma", "rtt_ratio", "util")
+
+#: Feature domains used for whisker boxes and normalization.  Times are in
+#: seconds; rtt_ratio is dimensionless >= 1; util is a fraction.
+DOMAIN: Dict[str, Tuple[float, float]] = {
+    "ack_ewma": (0.0, 1.0),
+    "send_ewma": (0.0, 1.0),
+    "rtt_ratio": (1.0, 16.0),
+    "util": (0.0, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class Memory:
+    """One observation point in Remy's memory space."""
+
+    ack_ewma: float = 0.0
+    send_ewma: float = 0.0
+    rtt_ratio: float = 1.0
+    util: float = 0.0
+
+    def value(self, dimension: str) -> float:
+        """The coordinate along ``dimension``."""
+        return getattr(self, dimension)
+
+    def clamped(self) -> "Memory":
+        """This memory with every coordinate clamped to its domain."""
+        values = {}
+        for dim in DIMENSIONS:
+            lo, hi = DOMAIN[dim]
+            values[dim] = min(hi, max(lo, self.value(dim)))
+        return Memory(**values)
+
+    @classmethod
+    def initial(cls) -> "Memory":
+        """Memory of a fresh connection (all features at rest)."""
+        return cls()
+
+
+class MemoryTracker:
+    """Updates a :class:`Memory` from the sender's ACK stream.
+
+    The tracker is owned by a RemyCC sender; ``util_provider`` is Phi's
+    hook — a callable returning the current shared bottleneck-utilization
+    estimate (ideal mode polls the live context; practical mode returns
+    the value fetched once at connection start).
+    """
+
+    def __init__(self, util_provider=None) -> None:
+        self._util_provider = util_provider
+        self._last_ack_time: Optional[float] = None
+        self._last_echo_time: Optional[float] = None
+        self.memory = Memory.initial()
+
+    def reset(self) -> None:
+        """Reset to initial memory (after an idle period or timeout)."""
+        self._last_ack_time = None
+        self._last_echo_time = None
+        self.memory = Memory.initial()
+
+    def _current_util(self) -> float:
+        if self._util_provider is None:
+            return 0.0
+        return float(min(1.0, max(0.0, self._util_provider())))
+
+    def on_ack(
+        self,
+        ack_arrival_time: float,
+        echoed_send_time: float,
+        last_rtt: Optional[float],
+        min_rtt: Optional[float],
+    ) -> Memory:
+        """Fold one ACK into the memory and return the updated value."""
+        ack_ewma = self.memory.ack_ewma
+        send_ewma = self.memory.send_ewma
+
+        if self._last_ack_time is not None:
+            sample = max(0.0, ack_arrival_time - self._last_ack_time)
+            ack_ewma = (1 - EWMA_ALPHA) * ack_ewma + EWMA_ALPHA * sample
+        if self._last_echo_time is not None:
+            sample = max(0.0, echoed_send_time - self._last_echo_time)
+            send_ewma = (1 - EWMA_ALPHA) * send_ewma + EWMA_ALPHA * sample
+
+        self._last_ack_time = ack_arrival_time
+        self._last_echo_time = echoed_send_time
+
+        rtt_ratio = self.memory.rtt_ratio
+        if last_rtt and min_rtt and min_rtt > 0:
+            rtt_ratio = last_rtt / min_rtt
+
+        self.memory = Memory(
+            ack_ewma=ack_ewma,
+            send_ewma=send_ewma,
+            rtt_ratio=rtt_ratio,
+            util=self._current_util(),
+        ).clamped()
+        return self.memory

@@ -1,0 +1,175 @@
+"""The Remy trainer: offline whisker-table optimization.
+
+Remy "is trained offline using trace-driven simulation": starting from a
+single whisker covering the whole memory domain, the trainer alternates
+
+1. **action improvement** — greedily trying neighbour actions on each
+   whisker (most-used first) and keeping changes that improve the median
+   log-power objective over the training scenarios, and
+2. **structure growth** — splitting the most-used whisker so the policy
+   can specialize by memory region.
+
+This is a faithful miniature of the original Remy optimizer; the paper
+retrains it twice, once with the classic 3-feature memory and once with
+the Phi ``util`` dimension added.
+
+The simulator is injected as ``evaluator(table) -> float`` (higher is
+better), so training is unit-testable against analytic toy objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .whisker import WhiskerTable
+
+TableEvaluator = Callable[[WhiskerTable], float]
+
+
+@dataclass
+class TrainingHistoryEntry:
+    """One accepted improvement during training."""
+
+    evaluation: int
+    score: float
+    whiskers: int
+    note: str
+
+
+@dataclass
+class TrainingResult:
+    """What :meth:`RemyTrainer.train` returns."""
+
+    table: WhiskerTable
+    score: float
+    evaluations: int
+    history: List[TrainingHistoryEntry] = field(default_factory=list)
+
+
+class RemyTrainer:
+    """Greedy whisker-table optimizer with an evaluation budget.
+
+    Parameters
+    ----------
+    evaluator:
+        Scores a candidate table (higher is better).  Each call typically
+        runs one or more packet simulations, so the trainer treats calls
+        as the unit of budget.
+    dimensions:
+        Memory features the table partitions on
+        (:attr:`WhiskerTable.CLASSIC_DIMENSIONS` or
+        :attr:`WhiskerTable.PHI_DIMENSIONS`).
+    max_evaluations:
+        Hard budget on evaluator calls.
+    max_splits:
+        Structure-growth rounds (each multiplies whisker count by 2^d).
+    improvement_threshold:
+        Relative improvement required to accept a candidate action.
+    """
+
+    def __init__(
+        self,
+        evaluator: TableEvaluator,
+        dimensions: Sequence[str] = WhiskerTable.CLASSIC_DIMENSIONS,
+        *,
+        max_evaluations: int = 60,
+        max_splits: int = 1,
+        improvement_threshold: float = 1e-4,
+        initial_table: Optional[WhiskerTable] = None,
+    ) -> None:
+        if max_evaluations < 1:
+            raise ValueError(f"max_evaluations must be >= 1: {max_evaluations}")
+        if max_splits < 0:
+            raise ValueError(f"max_splits must be >= 0: {max_splits}")
+        self.evaluator = evaluator
+        self.dimensions = tuple(dimensions)
+        self.max_evaluations = max_evaluations
+        self.max_splits = max_splits
+        self.improvement_threshold = improvement_threshold
+        self.initial_table = initial_table
+        self._evaluations = 0
+
+    def _evaluate(self, table: WhiskerTable) -> float:
+        self._evaluations += 1
+        return self.evaluator(table)
+
+    @property
+    def budget_left(self) -> int:
+        """Remaining evaluator calls."""
+        return self.max_evaluations - self._evaluations
+
+    def train(self) -> TrainingResult:
+        """Run the optimize/split loop until the budget is exhausted."""
+        self._evaluations = 0
+        table = (
+            self.initial_table.copy()
+            if self.initial_table is not None
+            else WhiskerTable(self.dimensions)
+        )
+        history: List[TrainingHistoryEntry] = []
+        best_score = self._evaluate(table)
+        history.append(
+            TrainingHistoryEntry(self._evaluations, best_score, len(table), "initial")
+        )
+
+        for split_round in range(self.max_splits + 1):
+            best_score = self._improve_actions(table, best_score, history)
+            if split_round < self.max_splits and self.budget_left > 0:
+                victim = table.most_used()
+                table.split_whisker(victim)
+                history.append(
+                    TrainingHistoryEntry(
+                        self._evaluations,
+                        best_score,
+                        len(table),
+                        f"split whisker (now {len(table)})",
+                    )
+                )
+            if self.budget_left <= 0:
+                break
+
+        return TrainingResult(
+            table=table,
+            score=best_score,
+            evaluations=self._evaluations,
+            history=history,
+        )
+
+    def _improve_actions(
+        self,
+        table: WhiskerTable,
+        best_score: float,
+        history: List[TrainingHistoryEntry],
+    ) -> float:
+        improved = True
+        while improved and self.budget_left > 0:
+            improved = False
+            # Most-used whiskers first: they influence the objective most.
+            order = sorted(table.whiskers, key=lambda w: -w.use_count)
+            for whisker in order:
+                if self.budget_left <= 0:
+                    break
+                original = whisker.action
+                for candidate in original.neighbours():
+                    if self.budget_left <= 0:
+                        break
+                    whisker.action = candidate
+                    score = self._evaluate(table)
+                    if score > best_score * (1 + self.improvement_threshold) or (
+                        best_score <= 0 and score > best_score + self.improvement_threshold
+                    ):
+                        best_score = score
+                        original = candidate
+                        improved = True
+                        history.append(
+                            TrainingHistoryEntry(
+                                self._evaluations,
+                                score,
+                                len(table),
+                                "accepted action",
+                            )
+                        )
+                    else:
+                        whisker.action = original
+        return best_score

@@ -1,0 +1,181 @@
+"""Discrete-event simulation engine.
+
+This is the core substrate that stands in for ns-2 in the paper's
+evaluation: a single-threaded event loop with a binary-heap calendar.
+Everything else in :mod:`repro.simnet` (links, queues, transport agents,
+workload sources) schedules callbacks on a :class:`Simulator`.
+
+Events fire in non-decreasing time order; ties are broken by insertion
+order so the simulation is fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+@dataclass(order=True)
+class _Event:
+    """A single calendar entry.
+
+    Ordered by (time, seq); the callback itself never participates in
+    comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an already-fired or already-cancelled event is a no-op;
+        the engine lazily discards cancelled entries when they surface.
+        """
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before now={self._now}"
+            )
+        event = _Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if the calendar is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False if nothing was pending."""
+        self._discard_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the calendar drains, ``until`` passes, or
+        ``max_events`` events have executed in this call.
+
+        When stopped by ``until``, the clock is advanced to ``until`` so a
+        subsequent ``run`` resumes from there.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left untouched)."""
+        self._heap.clear()

@@ -1,0 +1,104 @@
+"""Fault injection: link outages and random packet corruption.
+
+Used by robustness tests and the diagnosis pipeline's end-to-end
+scenarios: a :class:`LinkOutage` makes a link black-hole packets for a
+window (the network-level cause behind Figure 5's unreachability event),
+and :class:`RandomLoss` models a lossy segment independent of queueing.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from .engine import Simulator
+from .link import Link
+from .packet import Packet
+
+
+class LinkOutage:
+    """Black-holes everything a link would deliver during [start, end).
+
+    Implemented by wrapping the link's delivery hook, so queued and
+    in-flight packets during the window vanish exactly as they would on a
+    dead segment; packets sent after recovery flow normally.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, start_s: float, duration_s: float) -> None:
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        if start_s < sim.now:
+            raise ValueError(f"outage start {start_s} is in the past")
+        self.sim = sim
+        self.link = link
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.packets_blackholed = 0
+        self.active = False
+        self._original_deliver = link._deliver
+        sim.schedule_at(start_s, self._begin)
+
+    @property
+    def end_s(self) -> float:
+        """First instant the link works again."""
+        return self.start_s + self.duration_s
+
+    def _begin(self) -> None:
+        self.active = True
+        self.link._deliver = self._blackhole
+        self.sim.schedule(self.duration_s, self._end)
+
+    def _blackhole(self, packet: Packet) -> None:
+        self.packets_blackholed += 1
+
+    def _end(self) -> None:
+        self.active = False
+        self.link._deliver = self._original_deliver
+
+
+class RandomLoss:
+    """Drops each delivered packet independently with probability ``p``.
+
+    Models loss that is not congestion (a dirty fiber, a lossy wireless
+    segment); useful for testing loss-rate estimation and the informed
+    adaptation policies.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        loss_probability: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not 0 <= loss_probability < 1:
+            raise ValueError(
+                f"loss probability must be in [0, 1): {loss_probability}"
+            )
+        self.sim = sim
+        self.link = link
+        self.loss_probability = loss_probability
+        self.rng = rng
+        self.packets_dropped = 0
+        self.packets_passed = 0
+        self._original_deliver = link._deliver
+        link._deliver = self._maybe_drop
+
+    def _maybe_drop(self, packet: Packet) -> None:
+        if self.rng.random() < self.loss_probability:
+            self.packets_dropped += 1
+            return
+        self.packets_passed += 1
+        self._original_deliver(packet)
+
+    def remove(self) -> None:
+        """Restore the link's normal delivery."""
+        self.link._deliver = self._original_deliver
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Empirical drop fraction so far."""
+        total = self.packets_dropped + self.packets_passed
+        if total == 0:
+            return 0.0
+        return self.packets_dropped / total

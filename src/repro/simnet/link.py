@@ -1,0 +1,131 @@
+"""Point-to-point links.
+
+A :class:`Link` is unidirectional: it serializes packets at a fixed
+bandwidth, holds excess arrivals in an attached queue, and delivers each
+packet to the destination node after a propagation delay.  Bidirectional
+connectivity is modelled as two independent links (as in ns-2's duplex
+links).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import Node
+
+
+class Link:
+    """A unidirectional link with serialization, queueing, and propagation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator the link schedules on.
+    name:
+        Human-readable identifier (e.g. ``"bottleneck"``).
+    bandwidth_bps:
+        Transmission rate in bits per second.
+    delay_s:
+        One-way propagation delay in seconds.
+    queue:
+        The attached queue discipline.  If None, an unbounded
+        :class:`DropTailQueue` is created.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue: Optional[DropTailQueue] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_s < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {delay_s}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else DropTailQueue(None, lambda: sim.now)
+        self.dst_node: Optional["Node"] = None
+        self._busy = False
+        self.bytes_transmitted = 0
+        self.packets_transmitted = 0
+        self._busy_seconds = 0.0
+        self._tx_started_at = 0.0
+        self.created_at = sim.now
+
+    def attach(self, dst_node: "Node") -> None:
+        """Set the node that receives packets at the far end."""
+        self.dst_node = dst_node
+
+    def serialization_delay(self, packet: Packet) -> float:
+        """Time to clock ``packet`` onto the wire at this link's bandwidth."""
+        return packet.size_bytes * 8.0 / self.bandwidth_bps
+
+    def send(self, packet: Packet) -> None:
+        """Offer ``packet`` to the link.
+
+        If the transmitter is idle the packet goes straight to the wire;
+        otherwise it joins the queue (and may be dropped there).
+        """
+        if self._busy:
+            self.queue.enqueue(packet)
+            return
+        self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        self._busy = True
+        self._tx_started_at = self.sim.now
+        tx_time = self.serialization_delay(packet)
+        self.sim.schedule(tx_time, self._transmit_done, packet)
+
+    def _transmit_done(self, packet: Packet) -> None:
+        self.bytes_transmitted += packet.size_bytes
+        self.packets_transmitted += 1
+        self._busy_seconds += self.sim.now - self._tx_started_at
+        self.sim.schedule(self.delay_s, self._deliver, packet)
+        next_packet = self.queue.dequeue()
+        if next_packet is not None:
+            self._transmit(next_packet)
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.dst_node is None:
+            raise RuntimeError(f"link {self.name} has no destination node attached")
+        packet.hops += 1
+        self.dst_node.receive(packet, self)
+
+    def utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Fraction of ``[since, until]`` the transmitter was busy.
+
+        Uses the bytes-transmitted counter, which is exact for completed
+        transmissions; an in-flight transmission contributes its elapsed
+        portion.
+        """
+        end = self.sim.now if until is None else until
+        elapsed = end - since
+        if elapsed <= 0:
+            return 0.0
+        busy = self._busy_seconds
+        if self._busy:
+            busy += self.sim.now - self._tx_started_at
+        return min(1.0, busy / elapsed)
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether a packet is currently being serialized."""
+        return self._busy
+
+
+def bdp_bytes(bandwidth_bps: float, rtt_s: float) -> int:
+    """Bandwidth-delay product in bytes, the paper's buffer-sizing unit."""
+    return int(bandwidth_bps * rtt_s / 8.0)

@@ -1,0 +1,165 @@
+"""Instrumentation: link and queue monitors.
+
+The Phi context server needs the "ground truth" congestion context —
+bottleneck utilization ``u``, queue occupancy ``q``, and number of
+competing senders ``n`` — for the ideal-sharing experiments, and the
+benches need time series of utilization for reporting.  Monitors sample
+on a fixed period and keep windowed histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+from collections import deque
+
+from .engine import Simulator
+from .link import Link
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One periodic observation of a link."""
+
+    time: float
+    utilization: float
+    queue_bytes: int
+    queue_packets: int
+    drop_rate: float
+
+
+class LinkMonitor:
+    """Periodically samples a link's utilization and queue occupancy.
+
+    Utilization is measured per sampling interval (bytes clocked onto the
+    wire during the interval over the interval's capacity), which matches
+    how the paper characterizes "the utilization of the bottleneck link".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        period_s: float = 0.1,
+        history: int = 10_000,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        self.sim = sim
+        self.link = link
+        self.period_s = period_s
+        self.samples: Deque[LinkSample] = deque(maxlen=history)
+        self._last_bytes = link.bytes_transmitted
+        self._last_drops = link.queue.stats.dropped_packets
+        self._last_arrivals = (
+            link.queue.stats.enqueued_packets + link.queue.stats.dropped_packets
+        )
+        self._started = False
+
+    def start(self) -> None:
+        """Begin periodic sampling (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(self.period_s, self._sample)
+
+    def _sample(self) -> None:
+        stats = self.link.queue.stats
+        bytes_now = self.link.bytes_transmitted
+        interval_bits = (bytes_now - self._last_bytes) * 8.0
+        capacity_bits = self.link.bandwidth_bps * self.period_s
+        utilization = min(1.0, interval_bits / capacity_bits)
+
+        arrivals_now = stats.enqueued_packets + stats.dropped_packets
+        drops_now = stats.dropped_packets
+        interval_arrivals = arrivals_now - self._last_arrivals
+        interval_drops = drops_now - self._last_drops
+        drop_rate = interval_drops / interval_arrivals if interval_arrivals else 0.0
+
+        self.samples.append(
+            LinkSample(
+                time=self.sim.now,
+                utilization=utilization,
+                queue_bytes=self.link.queue.bytes_queued,
+                queue_packets=self.link.queue.packets_queued,
+                drop_rate=drop_rate,
+            )
+        )
+        self._last_bytes = bytes_now
+        self._last_drops = drops_now
+        self._last_arrivals = arrivals_now
+        self.sim.schedule(self.period_s, self._sample)
+
+    def current_utilization(self, window: int = 10) -> float:
+        """Mean utilization over the last ``window`` samples."""
+        if not self.samples:
+            return 0.0
+        recent = list(self.samples)[-window:]
+        return sum(sample.utilization for sample in recent) / len(recent)
+
+    def current_queue_bytes(self, window: int = 10) -> float:
+        """Mean queue occupancy (bytes) over the last ``window`` samples."""
+        if not self.samples:
+            return 0.0
+        recent = list(self.samples)[-window:]
+        return sum(sample.queue_bytes for sample in recent) / len(recent)
+
+    def mean_utilization(self, since: float = 0.0) -> float:
+        """Mean utilization across all samples taken at or after ``since``."""
+        relevant = [s.utilization for s in self.samples if s.time >= since]
+        if not relevant:
+            return 0.0
+        return sum(relevant) / len(relevant)
+
+    def utilization_series(self) -> List[LinkSample]:
+        """The full retained sample history, oldest first."""
+        return list(self.samples)
+
+
+class ActiveFlowTracker:
+    """Counts concurrently active flows — the paper's ``n`` dimension.
+
+    Transport agents call :meth:`flow_started` / :meth:`flow_finished`;
+    the Phi context server reads :attr:`active_flows`.
+    """
+
+    def __init__(self) -> None:
+        self.active_flows = 0
+        self.total_flows = 0
+        self.peak_active = 0
+        self._events: List[tuple] = []
+
+    def flow_started(self, flow_id: int, time: float) -> None:
+        """Record that ``flow_id`` became active at ``time``."""
+        self.active_flows += 1
+        self.total_flows += 1
+        self.peak_active = max(self.peak_active, self.active_flows)
+        self._events.append((time, flow_id, +1))
+
+    def flow_finished(self, flow_id: int, time: float) -> None:
+        """Record that ``flow_id`` completed at ``time``."""
+        if self.active_flows <= 0:
+            raise RuntimeError("flow_finished without matching flow_started")
+        self.active_flows -= 1
+        self._events.append((time, flow_id, -1))
+
+    def mean_active(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Time-weighted mean number of active flows in ``[since, until]``."""
+        if not self._events:
+            return 0.0
+        end = until if until is not None else self._events[-1][0]
+        if end <= since:
+            return 0.0
+        active = 0
+        last_time = since
+        weighted = 0.0
+        for time, _flow_id, delta in self._events:
+            if time > end:
+                break
+            if time > last_time:
+                weighted += active * (time - max(last_time, since)) if time > since else 0.0
+                last_time = max(time, since)
+            active += delta
+        if last_time < end:
+            weighted += active * (end - last_time)
+        return weighted / (end - since)

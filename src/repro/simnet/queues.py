@@ -1,0 +1,190 @@
+"""Queueing disciplines.
+
+The paper's experiments all use FIFO drop-tail queues ("the prevalence of
+FIFO queueing makes the network not incentive compatible"), so
+:class:`DropTailQueue` is the workhorse.  A priority variant is provided
+for the Section 3.3 prioritization experiments.
+
+All queues account occupancy both in packets and in bytes and keep a
+time-weighted occupancy integral so monitors can report average queue
+depth without sampling artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from .packet import Packet
+
+
+class QueueStats:
+    """Counters shared by all queue disciplines."""
+
+    __slots__ = (
+        "enqueued_packets",
+        "enqueued_bytes",
+        "dequeued_packets",
+        "dequeued_bytes",
+        "dropped_packets",
+        "dropped_bytes",
+        "occupancy_byte_seconds",
+        "occupancy_packet_seconds",
+        "last_change_time",
+        "peak_packets",
+        "peak_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dequeued_packets = 0
+        self.dequeued_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.occupancy_byte_seconds = 0.0
+        self.occupancy_packet_seconds = 0.0
+        self.last_change_time = 0.0
+        self.peak_packets = 0
+        self.peak_bytes = 0
+
+    def drop_rate(self) -> float:
+        """Fraction of arriving packets that were dropped."""
+        arrived = self.enqueued_packets + self.dropped_packets
+        if arrived == 0:
+            return 0.0
+        return self.dropped_packets / arrived
+
+    def mean_occupancy_bytes(self, elapsed: float) -> float:
+        """Time-averaged queue occupancy in bytes over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.occupancy_byte_seconds / elapsed
+
+    def mean_occupancy_packets(self, elapsed: float) -> float:
+        """Time-averaged queue occupancy in packets over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.occupancy_packet_seconds / elapsed
+
+
+class DropTailQueue:
+    """A FIFO queue with a byte-capacity limit and drop-tail behaviour.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum queued bytes.  An arriving packet that would exceed this is
+        dropped (classic drop tail).  ``None`` means unbounded.
+    clock:
+        Zero-argument callable returning the current simulation time; used
+        to stamp packets and integrate occupancy.
+    on_drop:
+        Optional callback invoked with each dropped packet (used by loss
+        monitors and tests).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int],
+        clock: Callable[[], float],
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._clock = clock
+        self._on_drop = on_drop
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Current occupancy in bytes."""
+        return self._bytes
+
+    @property
+    def packets_queued(self) -> int:
+        """Current occupancy in packets."""
+        return len(self._queue)
+
+    def _integrate_occupancy(self) -> None:
+        now = self._clock()
+        elapsed = now - self.stats.last_change_time
+        if elapsed > 0:
+            self.stats.occupancy_byte_seconds += self._bytes * elapsed
+            self.stats.occupancy_packet_seconds += len(self._queue) * elapsed
+        self.stats.last_change_time = now
+
+    def _fits(self, packet: Packet) -> bool:
+        if self.capacity_bytes is None:
+            return True
+        return self._bytes + packet.size_bytes <= self.capacity_bytes
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False (and drops it) when full."""
+        self._integrate_occupancy()
+        if not self._fits(packet):
+            self._drop(packet)
+            return False
+        packet.enqueued_at = self._clock()
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        self.stats.peak_packets = max(self.stats.peak_packets, len(self._queue))
+        self.stats.peak_bytes = max(self.stats.peak_bytes, self._bytes)
+        return True
+
+    def _drop(self, packet: Packet) -> None:
+        self.stats.dropped_packets += 1
+        self.stats.dropped_bytes += packet.size_bytes
+        if self._on_drop is not None:
+            self._on_drop(packet)
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head packet, or return None when empty."""
+        self._integrate_occupancy()
+        if not self._queue:
+            return None
+        packet = self._popleft()
+        self._bytes -= packet.size_bytes
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += packet.size_bytes
+        return packet
+
+    def _popleft(self) -> Packet:
+        return self._queue.popleft()
+
+    def flush(self) -> List[Packet]:
+        """Remove and return all queued packets (used at teardown)."""
+        self._integrate_occupancy()
+        drained = list(self._queue)
+        self._queue.clear()
+        self._bytes = 0
+        return drained
+
+
+class PriorityQueue(DropTailQueue):
+    """A strict-priority variant used for the Section 3.3 experiments.
+
+    Packets with a *lower* ``priority`` value are dequeued first; within a
+    priority class order is FIFO.  Capacity accounting and drop-tail
+    behaviour are inherited unchanged.
+    """
+
+    def _popleft(self) -> Packet:
+        best_index = 0
+        best_priority = self._queue[0].priority
+        for index, packet in enumerate(self._queue):
+            if packet.priority < best_priority:
+                best_priority = packet.priority
+                best_index = index
+        self._queue.rotate(-best_index)
+        packet = self._queue.popleft()
+        self._queue.rotate(best_index)
+        return packet

@@ -1,0 +1,218 @@
+"""Structured event tracing.
+
+An ns-2-style trace facility: components emit typed records (packet
+enqueued/dequeued/dropped/delivered, flow started/finished, cwnd
+changes) to a :class:`Tracer`, which retains them in memory and can dump
+them as JSON-lines.  Analysis helpers turn a trace into time series for
+debugging and for the examples' plots.
+
+Tracing is opt-in and zero-cost when no tracer is attached (the hooks
+are plain ``None`` checks on the hot path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, TextIO
+
+
+class TraceEventType(Enum):
+    """What happened."""
+
+    ENQUEUE = "enqueue"
+    DEQUEUE = "dequeue"
+    DROP = "drop"
+    DELIVER = "deliver"
+    FLOW_START = "flow_start"
+    FLOW_END = "flow_end"
+    CWND = "cwnd"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    kind: TraceEventType
+    component: str
+    flow_id: int = 0
+    value: float = 0.0
+    detail: str = ""
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        payload = asdict(self)
+        payload["kind"] = self.kind.value
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(line)
+        payload["kind"] = TraceEventType(payload["kind"])
+        return cls(**payload)
+
+
+class Tracer:
+    """Collects trace events, optionally bounded and filtered."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        max_events: Optional[int] = None,
+        kinds: Optional[Iterable[TraceEventType]] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1: {max_events}")
+        self._clock = clock
+        self.max_events = max_events
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.events: List[TraceEvent] = []
+        self.dropped_records = 0
+
+    def emit(
+        self,
+        kind: TraceEventType,
+        component: str,
+        *,
+        flow_id: int = 0,
+        value: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        """Record one event (subject to the kind filter and size bound)."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_records += 1
+            return
+        self.events.append(
+            TraceEvent(
+                time=self._clock(),
+                kind=kind,
+                component=component,
+                flow_id=flow_id,
+                value=value,
+                detail=detail,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: TraceEventType) -> List[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind is kind]
+
+    def for_flow(self, flow_id: int) -> List[TraceEvent]:
+        """All events of one flow, in time order."""
+        return [e for e in self.events if e.flow_id == flow_id]
+
+    def series(
+        self, kind: TraceEventType, component: Optional[str] = None
+    ) -> List[tuple]:
+        """(time, value) pairs for plotting, e.g. a cwnd trajectory."""
+        return [
+            (e.time, e.value)
+            for e in self.events
+            if e.kind is kind and (component is None or e.component == component)
+        ]
+
+    def counts_by_kind(self) -> Dict[TraceEventType, int]:
+        """Event tallies."""
+        counts: Dict[TraceEventType, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def dump(self, stream: TextIO) -> int:
+        """Write all events as JSON lines; returns the count written."""
+        for event in self.events:
+            stream.write(event.to_json())
+            stream.write("\n")
+        return len(self.events)
+
+    @classmethod
+    def load(cls, stream: TextIO, clock: Callable[[], float] = lambda: 0.0) -> "Tracer":
+        """Read a dumped trace back."""
+        tracer = cls(clock)
+        for line in stream:
+            line = line.strip()
+            if line:
+                tracer.events.append(TraceEvent.from_json(line))
+        return tracer
+
+
+class TracedSenderMixin:
+    """Mixin for TcpSender subclasses that logs cwnd on every change.
+
+    Usage::
+
+        class TracedCubic(TracedSenderMixin, CubicSender):
+            pass
+
+        sender = TracedCubic(..., tracer=tracer)
+    """
+
+    def __init__(self, *args, tracer: Optional[Tracer] = None, **kwargs) -> None:
+        self._tracer = tracer
+        super().__init__(*args, **kwargs)
+        self._trace_cwnd()
+
+    def _trace_cwnd(self) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(
+                TraceEventType.CWND,
+                f"flow-{self.spec.flow_id}",
+                flow_id=self.spec.flow_id,
+                value=self.cwnd,
+            )
+
+    def _grow_window(self, acked_segments: float) -> None:
+        super()._grow_window(acked_segments)
+        self._trace_cwnd()
+
+    def _on_loss_event(self) -> None:
+        super()._on_loss_event()
+        self._trace_cwnd()
+
+    def _on_timeout_event(self) -> None:
+        super()._on_timeout_event()
+        self._trace_cwnd()
+
+
+def attach_queue_tracing(queue, tracer: Tracer, component: str):
+    """Wrap a queue's enqueue/dequeue to emit trace events.
+
+    Returns the queue (hooks installed in place).
+    """
+    original_enqueue = queue.enqueue
+    original_dequeue = queue.dequeue
+
+    def traced_enqueue(packet):
+        accepted = original_enqueue(packet)
+        kind = TraceEventType.ENQUEUE if accepted else TraceEventType.DROP
+        tracer.emit(kind, component, flow_id=packet.flow_id,
+                    value=float(queue.bytes_queued))
+        return accepted
+
+    def traced_dequeue():
+        packet = original_dequeue()
+        if packet is not None:
+            tracer.emit(TraceEventType.DEQUEUE, component,
+                        flow_id=packet.flow_id,
+                        value=float(queue.bytes_queued))
+        return packet
+
+    queue.enqueue = traced_enqueue
+    queue.dequeue = traced_dequeue
+    return queue

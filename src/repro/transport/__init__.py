@@ -1,0 +1,52 @@
+"""Transport agents: TCP flavours used in the paper's experiments.
+
+- :class:`CubicSender` — TCP Cubic with the paper's three knobs
+  (:class:`CubicParams`, Tables 1 and 2).
+- :class:`NewRenoSender` — classical AIMD baseline.
+- :class:`RemySender` — machine-learned congestion control (Remy), with
+  the optional shared-utilization memory dimension (Remy-Phi).
+- :class:`TcpSink` — the receiving endpoint.
+"""
+
+from .base import (
+    DEFAULT_DUPACK_THRESHOLD,
+    INITIAL_RTO_S,
+    MIN_RTO_S,
+    ConnectionStats,
+    RttEstimator,
+    TcpSender,
+)
+from .cubic import (
+    CUBIC_C,
+    DEFAULT_BETA,
+    DEFAULT_INITIAL_SSTHRESH,
+    DEFAULT_WINDOW_INIT,
+    CubicParams,
+    CubicSender,
+    NewRenoSender,
+    cubic_sweep_grid,
+)
+from .remycc import RemySender
+from .sink import ByteIntervalSet, TcpSink
+from .vegas import VegasSender
+
+__all__ = [
+    "CUBIC_C",
+    "DEFAULT_BETA",
+    "DEFAULT_DUPACK_THRESHOLD",
+    "DEFAULT_INITIAL_SSTHRESH",
+    "DEFAULT_WINDOW_INIT",
+    "INITIAL_RTO_S",
+    "MIN_RTO_S",
+    "ByteIntervalSet",
+    "ConnectionStats",
+    "CubicParams",
+    "CubicSender",
+    "NewRenoSender",
+    "RemySender",
+    "RttEstimator",
+    "TcpSender",
+    "TcpSink",
+    "VegasSender",
+    "cubic_sweep_grid",
+]

@@ -1,0 +1,153 @@
+"""TCP receiver (sink): reassembly and cumulative ACK generation.
+
+The sink ACKs every arriving data packet (ns-2's default ``TCPSink``
+behaviour), echoing the data packet's send timestamp so the sender can
+take RTT samples, and propagating the retransmit flag so Karn's rule can
+be applied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..simnet.engine import Simulator
+from ..simnet.node import Host
+from ..simnet.packet import FlowSpec, Packet, PacketKind, make_ack_packet
+
+
+class ByteIntervalSet:
+    """A set of received byte ranges with O(holes) merging.
+
+    Intervals are half-open ``[start, end)`` and kept sorted and disjoint.
+    The sink uses it to compute the cumulative ACK in the presence of
+    holes left by drops.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: List[Tuple[int, int]] = []
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)`` and merge with any overlapping ranges."""
+        if end <= start:
+            return
+        merged: List[Tuple[int, int]] = []
+        placed = False
+        for lo, hi in self._intervals:
+            if hi < start or lo > end:
+                if not placed and lo > end:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((lo, hi))
+            else:
+                start = min(start, lo)
+                end = max(end, hi)
+        if not placed:
+            merged.append((start, end))
+            merged.sort()
+        self._intervals = merged
+
+    def contiguous_from(self, origin: int = 0) -> int:
+        """Highest byte such that ``[origin, result)`` is fully covered."""
+        result = origin
+        for lo, hi in self._intervals:
+            if lo > result:
+                break
+            result = max(result, hi)
+        return result
+
+    def covers(self, offset: int) -> bool:
+        """Whether byte ``offset`` lies inside a covered range."""
+        for lo, hi in self._intervals:
+            if lo <= offset < hi:
+                return True
+            if lo > offset:
+                break
+        return False
+
+    def prune_below(self, origin: int) -> None:
+        """Drop coverage below ``origin`` (bytes cumulatively ACKed)."""
+        pruned = []
+        for lo, hi in self._intervals:
+            if hi <= origin:
+                continue
+            pruned.append((max(lo, origin), hi))
+        self._intervals = pruned
+
+    def intervals(self) -> List[Tuple[int, int]]:
+        """The covered ranges, sorted and disjoint."""
+        return list(self._intervals)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total covered bytes."""
+        return sum(hi - lo for lo, hi in self._intervals)
+
+    @property
+    def fragment_count(self) -> int:
+        """Number of disjoint ranges currently held."""
+        return len(self._intervals)
+
+
+class TcpSink:
+    """Receiver endpoint for one flow: reassembles and ACKs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        spec: FlowSpec,
+        on_data: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.spec = spec
+        self.on_data = on_data
+        self.received = ByteIntervalSet()
+        self.rcv_nxt = 0
+        self.packets_received = 0
+        self.duplicate_packets = 0
+        self.bytes_received = 0
+        host.register_agent(spec.flow_id, self)
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process an arriving DATA packet and emit a cumulative ACK."""
+        if packet.kind is not PacketKind.DATA:
+            return
+        self.packets_received += 1
+        seg_start = packet.seq
+        seg_end = packet.seq + packet.payload_bytes
+        before = self.received.total_bytes
+        self.received.add(seg_start, seg_end)
+        delivered = self.received.total_bytes - before
+        self.bytes_received += delivered
+        if delivered == 0:
+            self.duplicate_packets += 1
+        self.rcv_nxt = self.received.contiguous_from(0)
+        if self.on_data is not None:
+            self.on_data(packet)
+        self._send_ack(packet)
+
+    def _send_ack(self, data_packet: Packet) -> None:
+        ack = make_ack_packet(
+            self.spec.flow_id,
+            self.spec.dst,
+            self.spec.src,
+            self.rcv_nxt,
+            echo_timestamp=data_packet.sent_at,
+        )
+        ack.is_retransmit = data_packet.is_retransmit
+        ack.sack_blocks = self._sack_blocks()
+        self.host.send(ack)
+
+    def _sack_blocks(self, max_blocks: int = 4) -> tuple:
+        """Received ranges above the cumulative ACK (RFC 2018 style)."""
+        blocks = [
+            (lo, hi)
+            for lo, hi in self.received._intervals
+            if hi > self.rcv_nxt
+        ]
+        return tuple(blocks[:max_blocks])
+
+    def close(self) -> None:
+        """Unregister from the host."""
+        self.host.unregister_agent(self.spec.flow_id)

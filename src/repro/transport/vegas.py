@@ -1,0 +1,98 @@
+"""TCP Vegas: the classic delay-based baseline.
+
+The paper cites Vegas [Brakmo, O'Malley & Peterson 1994] among the
+congestion-control lineage it builds on.  Vegas is included as a second
+hand-crafted baseline: it estimates the backlog it keeps in the
+bottleneck queue from the difference between expected and actual rates
+and holds it between ``alpha`` and ``beta`` packets — the same standing-
+queue signal Phi's context server aggregates across senders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..simnet.engine import Simulator
+from ..simnet.node import Host
+from ..simnet.packet import MSS_BYTES, FlowSpec
+from .base import TcpSender
+
+#: Vegas holds between alpha and beta segments queued at the bottleneck.
+DEFAULT_ALPHA = 1.0
+DEFAULT_BETA = 3.0
+
+
+class VegasSender(TcpSender):
+    """Delay-based sender: adjusts the window by the estimated backlog."""
+
+    flavour = "vegas"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        spec: FlowSpec,
+        flow_size_bytes: int,
+        on_complete: Optional[Callable[[TcpSender], None]] = None,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+        beta: float = DEFAULT_BETA,
+        window_init: float = 2.0,
+        initial_ssthresh: float = 65536.0,
+        mss: int = MSS_BYTES,
+    ) -> None:
+        if not 0 < alpha <= beta:
+            raise ValueError(f"need 0 < alpha <= beta, got {alpha} / {beta}")
+        super().__init__(
+            sim,
+            host,
+            spec,
+            flow_size_bytes,
+            on_complete,
+            window_init=window_init,
+            initial_ssthresh=initial_ssthresh,
+            mss=mss,
+        )
+        self.alpha = alpha
+        self.beta = beta
+
+    def _estimated_backlog(self) -> Optional[float]:
+        """Diff = (expected - actual) * baseRTT, in segments (Vegas)."""
+        if self.rtt.srtt is None or self.rtt.min_rtt == float("inf"):
+            return None
+        base = self.rtt.min_rtt
+        current = self.rtt.srtt
+        if base <= 0 or current <= 0:
+            return None
+        expected_rate = self.cwnd / base
+        actual_rate = self.cwnd / current
+        return (expected_rate - actual_rate) * base
+
+    def _on_ack_congestion_avoidance(self, acked_segments: float) -> None:
+        backlog = self._estimated_backlog()
+        if backlog is None:
+            self.cwnd += acked_segments / max(self.cwnd, 1.0)
+            return
+        per_ack = acked_segments / max(self.cwnd, 1.0)
+        if backlog < self.alpha:
+            self.cwnd += per_ack
+        elif backlog > self.beta:
+            self.cwnd = max(2.0, self.cwnd - per_ack)
+        # Between alpha and beta: hold steady.
+
+    def _on_loss_event(self) -> None:
+        # Vegas falls back to multiplicative decrease on an actual loss.
+        self.ssthresh = max(2.0, self.cwnd * 0.75)
+        self.cwnd = self.ssthresh
+
+    def _on_timeout_event(self) -> None:
+        self.ssthresh = max(2.0, self.flight_segments / 2.0)
+        self.cwnd = 1.0
+
+    def _grow_window(self, acked_segments: float) -> None:
+        # Vegas also moderates slow start: leave it once a backlog shows.
+        backlog = self._estimated_backlog()
+        if self.cwnd < self.ssthresh and (backlog is None or backlog < self.beta):
+            self.cwnd = min(self.ssthresh, self.cwnd + acked_segments / 2.0)
+        else:
+            self._on_ack_congestion_avoidance(acked_segments)

@@ -1,0 +1,20 @@
+"""Traffic models: exponential on/off sources and persistent bulk flows."""
+
+from .longrunning import (
+    PERSISTENT_FLOW_BYTES,
+    LongRunningFlow,
+    launch_long_running_flows,
+)
+from .onoff import OnOffConfig, OnOffSource, SenderFactory
+from .poisson import PoissonConfig, PoissonFlowGenerator
+
+__all__ = [
+    "PERSISTENT_FLOW_BYTES",
+    "LongRunningFlow",
+    "OnOffConfig",
+    "OnOffSource",
+    "PoissonConfig",
+    "PoissonFlowGenerator",
+    "SenderFactory",
+    "launch_long_running_flows",
+]

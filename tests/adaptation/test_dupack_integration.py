@@ -1,0 +1,63 @@
+"""Integration: wiring the dupACK recommendation into a live sender."""
+
+from repro.adaptation import ReorderingObservatory
+from repro.simnet import DumbbellConfig, DumbbellTopology, FlowSpec, Simulator
+from repro.transport import CubicSender, TcpSink
+
+
+class TestDupAckWiring:
+    def test_sender_accepts_recommended_threshold(self):
+        """The observatory's recommendation plugs straight into the
+        transport's ``dupack_threshold`` knob and flows still complete."""
+        observatory = ReorderingObservatory()
+        observatory.record_depths(("dc", "isp"), [0] * 950 + [4] * 50)
+        recommendation = observatory.recommend(("dc", "isp"))
+        assert recommendation.threshold > 3
+
+        sim = Simulator()
+        top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+        spec = FlowSpec(1, top.senders[0].name, 1, top.receivers[0].name, 443)
+        TcpSink(sim, top.receivers[0], spec)
+        done = []
+        sender = CubicSender(
+            sim,
+            top.senders[0],
+            spec,
+            300_000,
+            done.append,
+            dupack_threshold=recommendation.threshold,
+        )
+        sender.start()
+        sim.run(until=60.0)
+        assert done
+        assert sender.dupack_threshold == recommendation.threshold
+
+    def test_higher_threshold_delays_fast_retransmit_under_loss(self):
+        """With drops present, a higher dupACK threshold means recovery
+        triggers later (fewer fast retransmits, possibly more timeouts) —
+        exactly the trade-off informed adaptation navigates."""
+
+        def run(threshold):
+            sim = Simulator()
+            config = DumbbellConfig(
+                n_senders=1,
+                bottleneck_bandwidth_bps=4_000_000.0,
+                rtt_s=0.08,
+                buffer_bdp_multiple=0.5,
+            )
+            top = DumbbellTopology(sim, config)
+            spec = FlowSpec(1, top.senders[0].name, 1, top.receivers[0].name, 443)
+            TcpSink(sim, top.receivers[0], spec)
+            done = []
+            sender = CubicSender(
+                sim, top.senders[0], spec, 1_500_000, done.append,
+                dupack_threshold=threshold,
+            )
+            sender.start()
+            sim.run(until=200.0)
+            assert done
+            return sender.stats
+
+        standard = run(3)
+        raised = run(10)
+        assert standard.fast_retransmits >= raised.fast_retransmits

@@ -1,0 +1,87 @@
+"""Tests for incident report rendering."""
+
+import pytest
+
+from repro.diagnosis import (
+    IncidentReport,
+    TelemetryConfig,
+    render_all,
+    render_incident,
+    severity_grade,
+)
+from repro.diagnosis.detector import DetectedDip
+from repro.diagnosis.localize import LocalizedEvent
+
+
+def event(asn="isp-a", metro="nyc", service=None, drop=0.9, start=100, end=124):
+    return LocalizedEvent(
+        asn=asn,
+        metro=metro,
+        service=service,
+        start_bin=start,
+        end_bin=end,
+        affected_slices=2,
+        mean_drop_fraction=drop,
+    )
+
+
+class TestSeverity:
+    def test_grades(self):
+        assert severity_grade(0.95).startswith("SEV-1")
+        assert severity_grade(0.5).startswith("SEV-2")
+        assert severity_grade(0.2).startswith("SEV-3")
+        assert severity_grade(0.02).startswith("SEV-4")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            severity_grade(1.5)
+
+
+class TestRenderIncident:
+    def test_network_event_report(self):
+        config = TelemetryConfig()
+        report = render_incident(event(), config)
+        assert "SEV-1" in report.title
+        assert "asn=isp-a, metro=nyc" in report.body
+        assert "2.0 hours" in report.body
+        assert "peering/NOC" in report.body
+
+    def test_service_event_report(self):
+        config = TelemetryConfig()
+        report = render_incident(
+            event(asn=None, metro=None, service="voip", drop=0.5), config
+        )
+        assert "voip on-call" in report.body
+
+    def test_global_event_report(self):
+        config = TelemetryConfig()
+        report = render_incident(
+            event(asn=None, metro=None, service=None), config
+        )
+        assert "global" in report.title
+        assert "provider-side" in report.body
+
+    def test_evidence_line_from_dips(self):
+        config = TelemetryConfig()
+        dips = [
+            DetectedDip(
+                key=("isp-a", "nyc", "voip"),
+                start_bin=105,
+                end_bin=120,
+                min_zscore=-12.3,
+                mean_drop_fraction=0.9,
+            )
+        ]
+        report = render_incident(event(), config, dips)
+        assert "z = -12.3" in report.body
+
+    def test_short_duration_in_minutes(self):
+        config = TelemetryConfig()
+        report = render_incident(event(start=10, end=14), config)
+        assert "20 minutes" in report.body
+
+    def test_render_all(self):
+        config = TelemetryConfig()
+        reports = render_all([event(), event(metro="lon")], config)
+        assert len(reports) == 2
+        assert all(isinstance(r, IncidentReport) for r in reports)

@@ -1,0 +1,172 @@
+"""Tests for the experiment harness (scenario runners, presets)."""
+
+import pytest
+
+from repro.experiments import (
+    FIG2A_LOW_UTILIZATION,
+    FIG2C_LONG_RUNNING,
+    TABLE3_REMY,
+    cubic_evaluator,
+    run_cubic_fixed,
+    run_incremental_deployment,
+    run_long_running_scenario,
+    run_onoff_scenario,
+    run_phi_cubic,
+    uniform_slots,
+)
+from repro.experiments.dumbbell import ExperimentEnv
+from repro.experiments.scenarios import ScenarioPreset
+from repro.phi import REFERENCE_POLICY, SharingMode, plain_cubic_factory
+from repro.simnet import DumbbellConfig
+from repro.transport import CubicParams
+from repro.workload import OnOffConfig
+
+#: A small, fast preset used throughout this module.
+QUICK = ScenarioPreset(
+    name="quick",
+    config=DumbbellConfig(n_senders=4),
+    workload=OnOffConfig(mean_on_bytes=50_000, mean_off_s=0.3),
+    duration_s=10.0,
+    description="fast test preset",
+)
+
+QUICK_LONG = ScenarioPreset(
+    name="quick-long",
+    config=DumbbellConfig(n_senders=6),
+    workload=None,
+    duration_s=20.0,
+    description="fast long-running preset",
+)
+
+
+class TestPresets:
+    def test_table3_matches_paper(self):
+        assert TABLE3_REMY.config.bottleneck_bandwidth_bps == 15e6
+        assert TABLE3_REMY.config.rtt_s == pytest.approx(0.150)
+        assert TABLE3_REMY.config.n_senders == 8
+        assert TABLE3_REMY.workload.mean_on_bytes == 100_000
+        assert TABLE3_REMY.workload.mean_off_s == 0.5
+
+    def test_fig2a_workload(self):
+        assert FIG2A_LOW_UTILIZATION.workload.mean_on_bytes == 500_000
+        assert FIG2A_LOW_UTILIZATION.workload.mean_off_s == 2.0
+
+    def test_fig2c_is_long_running(self):
+        assert FIG2C_LONG_RUNNING.workload is None
+
+
+class TestEnvCreation:
+    def test_env_wires_monitor(self):
+        env = ExperimentEnv.create(DumbbellConfig(n_senders=2), seed=1)
+        assert env.monitor.link is env.topology.bottleneck
+        assert env.bottleneck_capacity_bps == 15e6
+
+    def test_envs_differ_by_seed(self):
+        a = ExperimentEnv.create(seed=1).rngs.stream("x").random(3)
+        b = ExperimentEnv.create(seed=2).rngs.stream("x").random(3)
+        assert list(a) != list(b)
+
+
+class TestOnOffRunner:
+    def test_basic_run(self):
+        result = run_cubic_fixed(CubicParams.default(), QUICK, seed=0)
+        assert result.connections > 0
+        assert result.metrics.throughput_mbps > 0
+        assert 0 <= result.mean_utilization <= 1
+        assert len(result.per_sender_stats) == 4
+
+    def test_reproducible(self):
+        a = run_cubic_fixed(CubicParams.default(), QUICK, seed=5)
+        b = run_cubic_fixed(CubicParams.default(), QUICK, seed=5)
+        assert a.metrics.throughput_mbps == b.metrics.throughput_mbps
+        assert a.connections == b.connections
+
+    def test_different_seeds_differ(self):
+        a = run_cubic_fixed(CubicParams.default(), QUICK, seed=1)
+        b = run_cubic_fixed(CubicParams.default(), QUICK, seed=2)
+        assert a.metrics.throughput_mbps != b.metrics.throughput_mbps
+
+    def test_sender_metrics_subset(self):
+        result = run_cubic_fixed(CubicParams.default(), QUICK, seed=0)
+        subset = result.sender_metrics([0, 1])
+        full = result.metrics
+        assert subset.connections <= full.connections
+
+    def test_throughput_bounded_by_capacity(self):
+        result = run_cubic_fixed(CubicParams.default(), QUICK, seed=0)
+        assert result.metrics.throughput_mbps <= 15.0 * 1.05
+
+
+class TestLongRunningRunner:
+    def test_high_utilization(self):
+        result = run_cubic_fixed(CubicParams.default(), QUICK_LONG, seed=0)
+        assert result.mean_utilization > 0.8
+        assert result.connections == 6
+
+    def test_stats_are_partial(self):
+        result = run_cubic_fixed(CubicParams.default(), QUICK_LONG, seed=0)
+        for sender_stats in result.per_sender_stats:
+            for stats in sender_stats:
+                assert not stats.completed
+                assert stats.bytes_goodput > 0
+
+
+class TestPhiRunner:
+    def test_practical_mode_runs(self):
+        result = run_phi_cubic(
+            REFERENCE_POLICY, QUICK, SharingMode.PRACTICAL, seed=0
+        )
+        assert result.connections > 0
+
+    def test_ideal_mode_runs(self):
+        result = run_phi_cubic(REFERENCE_POLICY, QUICK, SharingMode.IDEAL, seed=0)
+        assert result.connections > 0
+
+    def test_none_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_phi_cubic(REFERENCE_POLICY, QUICK, SharingMode.NONE)
+
+
+class TestEvaluator:
+    def test_evaluator_seeds_runs_consistently(self):
+        evaluator = cubic_evaluator(QUICK, base_seed=0)
+        a = evaluator(CubicParams.default(), 0)
+        b = evaluator(CubicParams.default(), 0)
+        assert a.throughput_mbps == b.throughput_mbps
+        c = evaluator(CubicParams.default(), 1)
+        assert c.throughput_mbps != a.throughput_mbps
+
+
+class TestIncrementalRunner:
+    def test_populations_split(self):
+        result = run_incremental_deployment(
+            CubicParams(window_init=16, initial_ssthresh=64, beta=0.3),
+            QUICK,
+            modified_fraction=0.5,
+            seed=0,
+        )
+        assert result.modified.connections > 0
+        assert result.unmodified.connections > 0
+        total = result.modified.connections + result.unmodified.connections
+        assert total == result.overall.connections
+
+    def test_long_running_preset_rejected(self):
+        with pytest.raises(ValueError):
+            run_incremental_deployment(
+                CubicParams.default(), QUICK_LONG, modified_fraction=0.5
+            )
+
+
+class TestUniformSlots:
+    def test_factory_shared_within_env(self):
+        built = []
+
+        def builder(env):
+            built.append(env)
+            return plain_cubic_factory()
+
+        slots = uniform_slots(builder)
+        env = ExperimentEnv.create(DumbbellConfig(n_senders=3))
+        for i in range(3):
+            slots(i, env)
+        assert len(built) == 1

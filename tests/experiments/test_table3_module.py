@@ -1,0 +1,92 @@
+"""Tests for the Table-3 harness utilities (fast paths only)."""
+
+import pytest
+
+from repro.experiments.table3 import (
+    Table3Result,
+    Table3Row,
+    _seed_phi_table,
+    make_table_evaluator,
+    run_remy_scenario,
+)
+from repro.experiments.scenarios import ScenarioPreset
+from repro.phi import SharingMode
+from repro.remy import WhiskerTable
+from repro.remy.whisker import Action
+from repro.simnet import DumbbellConfig
+from repro.workload import OnOffConfig
+
+TINY = ScenarioPreset(
+    name="tiny",
+    config=DumbbellConfig(n_senders=2),
+    workload=OnOffConfig(mean_on_bytes=40_000, mean_off_s=0.2),
+    duration_s=6.0,
+    description="tiny table3 test preset",
+)
+
+
+class TestRows:
+    def _result(self):
+        rows = [
+            Table3Row("Remy-Phi-practical", 1.93, 5.6, 2.52),
+            Table3Row("Remy-Phi-ideal", 1.97, 3.0, 2.56),
+            Table3Row("Remy", 1.45, 1.7, 2.26),
+            Table3Row("Cubic", 1.03, 9.3, 1.87),
+        ]
+        return Table3Result(rows=rows)
+
+    def test_row_lookup(self):
+        result = self._result()
+        assert result.row("Remy").median_throughput_mbps == 1.45
+        with pytest.raises(KeyError):
+            result.row("BBR")
+
+    def test_format_contains_all_rows(self):
+        text = self._result().format()
+        for name in ("Remy-Phi-practical", "Remy-Phi-ideal", "Remy", "Cubic"):
+            assert name in text
+        assert "thr(Mbps)" in text
+
+    def test_row_format_numbers(self):
+        row = Table3Row("Cubic", 1.03, 9.3, 1.87)
+        text = row.format()
+        assert "1.03" in text and "9.3" in text and "1.87" in text
+
+
+class TestSeedPhiTable:
+    def test_partitioned_on_util_with_classic_action(self):
+        classic = WhiskerTable()
+        classic.whiskers[0].action = Action(window_increment=7.0)
+        phi = _seed_phi_table(classic)
+        assert phi.dimensions == WhiskerTable.PHI_DIMENSIONS
+        assert len(phi) == 2
+        assert all(w.action.window_increment == 7.0 for w in phi.whiskers)
+        utils = [w.bounds["util"] for w in phi.whiskers]
+        assert (0.0, 0.5) in utils and (0.5, 1.0) in utils
+
+
+class TestRunRemyScenario:
+    def test_all_modes_produce_connections(self):
+        classic = WhiskerTable()
+        phi = WhiskerTable(WhiskerTable.PHI_DIMENSIONS)
+        for mode, table in [
+            (SharingMode.NONE, classic),
+            (SharingMode.PRACTICAL, phi),
+            (SharingMode.IDEAL, phi),
+        ]:
+            result = run_remy_scenario(table, mode, TINY, seed=1)
+            assert result.connections > 0, mode
+
+    def test_evaluator_returns_finite_scores(self):
+        evaluator = make_table_evaluator(
+            SharingMode.NONE, TINY, duration_s=6.0, seeds=(0,)
+        )
+        score = evaluator(WhiskerTable())
+        assert score == score  # not NaN
+        assert score != float("inf")
+
+    def test_evaluator_deterministic(self):
+        evaluator = make_table_evaluator(
+            SharingMode.NONE, TINY, duration_s=6.0, seeds=(0,)
+        )
+        assert evaluator(WhiskerTable()) == evaluator(WhiskerTable())

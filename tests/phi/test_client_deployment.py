@@ -1,0 +1,160 @@
+"""Tests for Phi client factories and deployment mixes."""
+
+import pytest
+
+from repro.phi import (
+    REFERENCE_POLICY,
+    ContextServer,
+    SharingMode,
+    deployment_factories,
+    phi_cubic_factory,
+    phi_remy_factory,
+    plain_cubic_factory,
+    plain_remy_factory,
+    split_stats,
+)
+from repro.remy import WhiskerTable
+from repro.simnet import DumbbellConfig, DumbbellTopology, FlowSpec, Simulator
+from repro.transport import CubicParams, CubicSender, RemySender
+from repro.transport.sink import TcpSink
+
+
+def setup_env():
+    sim = Simulator()
+    top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+    spec = FlowSpec(1, top.senders[0].name, 10_000, top.receivers[0].name, 443)
+    sink = TcpSink(sim, top.receivers[0], spec)
+    return sim, top, spec, sink
+
+
+class TestPhiCubicFactory:
+    def test_lookup_and_report_cycle(self):
+        sim, top, spec, sink = setup_env()
+        server = ContextServer(sim, 15e6)
+        factory = phi_cubic_factory(server, REFERENCE_POLICY, now=lambda: sim.now)
+        done = []
+        sender = factory(sim, top.senders[0], spec, 50_000, done.append)
+        assert isinstance(sender, CubicSender)
+        assert server.lookups == 1
+        assert server.active_connections == 1
+        sender.start()
+        sim.run(until=30.0)
+        assert done
+        assert server.reports_received == 1
+        assert server.active_connections == 0
+
+    def test_params_follow_policy(self):
+        sim, top, spec, sink = setup_env()
+        server = ContextServer(sim, 15e6)  # idle -> LOW
+        factory = phi_cubic_factory(server, REFERENCE_POLICY, now=lambda: sim.now)
+        sender = factory(sim, top.senders[0], spec, 10_000, lambda s: None)
+        from repro.phi.context import CongestionLevel
+
+        assert sender.params == REFERENCE_POLICY.params_for_level(CongestionLevel.LOW)
+
+
+class TestPhiRemyFactory:
+    def test_none_mode_has_no_util(self):
+        sim, top, spec, sink = setup_env()
+        server = ContextServer(sim, 15e6)
+        table = WhiskerTable()
+        factory = phi_remy_factory(table, server, SharingMode.NONE, now=lambda: sim.now)
+        sender = factory(sim, top.senders[0], spec, 10_000, lambda s: None)
+        assert isinstance(sender, RemySender)
+        assert sender.tracker._util_provider is None
+
+    def test_practical_mode_freezes_util(self):
+        sim, top, spec, sink = setup_env()
+        server = ContextServer(sim, 15e6)
+        table = WhiskerTable(WhiskerTable.PHI_DIMENSIONS)
+        factory = phi_remy_factory(
+            table, server, SharingMode.PRACTICAL, now=lambda: sim.now
+        )
+        sender = factory(sim, top.senders[0], spec, 10_000, lambda s: None)
+        assert sender.tracker._util_provider is not None
+        assert sender.tracker._util_provider() == 0.0  # idle at start
+        assert server.lookups == 1
+
+    def test_ideal_mode_requires_live_provider(self):
+        sim, top, spec, sink = setup_env()
+        server = ContextServer(sim, 15e6)
+        with pytest.raises(ValueError):
+            phi_remy_factory(
+                WhiskerTable(), server, SharingMode.IDEAL, now=lambda: sim.now
+            )
+
+    def test_ideal_mode_uses_live_provider(self):
+        sim, top, spec, sink = setup_env()
+        server = ContextServer(sim, 15e6)
+        live = {"u": 0.7}
+        factory = phi_remy_factory(
+            WhiskerTable(WhiskerTable.PHI_DIMENSIONS),
+            server,
+            SharingMode.IDEAL,
+            now=lambda: sim.now,
+            live_utilization=lambda: live["u"],
+        )
+        sender = factory(sim, top.senders[0], spec, 10_000, lambda s: None)
+        assert sender.tracker._util_provider() == 0.7
+        live["u"] = 0.2
+        assert sender.tracker._util_provider() == 0.2
+
+
+class TestPlainFactories:
+    def test_plain_cubic_uses_given_params(self):
+        sim, top, spec, sink = setup_env()
+        params = CubicParams(window_init=8)
+        factory = plain_cubic_factory(params)
+        sender = factory(sim, top.senders[0], spec, 10_000, lambda s: None)
+        assert sender.params == params
+
+    def test_plain_cubic_defaults(self):
+        sim, top, spec, sink = setup_env()
+        sender = plain_cubic_factory()(sim, top.senders[0], spec, 10_000, lambda s: None)
+        assert sender.params == CubicParams.default()
+
+    def test_plain_remy(self):
+        sim, top, spec, sink = setup_env()
+        table = WhiskerTable()
+        sender = plain_remy_factory(table)(
+            sim, top.senders[0], spec, 10_000, lambda s: None
+        )
+        assert sender.table is table
+
+
+class TestDeployment:
+    def test_half_and_half(self):
+        mod = object()
+        unmod = object()
+        assignments = deployment_factories(8, 0.5, mod, unmod)
+        assert sum(1 for a in assignments if a.modified) == 4
+        assert all(a.factory is mod for a in assignments if a.modified)
+        assert all(a.factory is unmod for a in assignments if not a.modified)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            deployment_factories(8, 1.5, None, None)
+        with pytest.raises(ValueError):
+            deployment_factories(0, 0.5, None, None)
+
+    def test_zero_and_full(self):
+        assignments = deployment_factories(5, 0.0, "m", "u")
+        assert not any(a.modified for a in assignments)
+        assignments = deployment_factories(5, 1.0, "m", "u")
+        assert all(a.modified for a in assignments)
+
+    def test_rounding(self):
+        assignments = deployment_factories(5, 0.5, "m", "u")
+        assert sum(1 for a in assignments if a.modified) == 2  # round(2.5) == 2
+
+    def test_split_stats(self):
+        assignments = deployment_factories(4, 0.5, "m", "u")
+        per_sender = [[1, 2], [3], [4], [5, 6]]
+        modified, unmodified = split_stats(assignments, per_sender)
+        assert modified == [1, 2, 3]
+        assert unmodified == [4, 5, 6]
+
+    def test_split_stats_length_mismatch(self):
+        assignments = deployment_factories(2, 0.5, "m", "u")
+        with pytest.raises(ValueError):
+            split_stats(assignments, [[1]])

@@ -1,0 +1,78 @@
+"""Tests for the congestion context and level discretization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phi.context import (
+    CongestionContext,
+    CongestionLevel,
+)
+
+
+class TestCongestionContext:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionContext(utilization=1.5, queue_delay_s=0, competing_senders=0)
+        with pytest.raises(ValueError):
+            CongestionContext(utilization=0.5, queue_delay_s=-1, competing_senders=0)
+        with pytest.raises(ValueError):
+            CongestionContext(utilization=0.5, queue_delay_s=0, competing_senders=-1)
+
+    def test_idle_context(self):
+        ctx = CongestionContext.idle(timestamp=3.0)
+        assert ctx.level() is CongestionLevel.LOW
+        assert ctx.timestamp == 3.0
+
+    def test_low_utilization_level(self):
+        ctx = CongestionContext(utilization=0.2, queue_delay_s=0.0, competing_senders=1)
+        assert ctx.level() is CongestionLevel.LOW
+
+    def test_moderate_level(self):
+        ctx = CongestionContext(utilization=0.5, queue_delay_s=0.0, competing_senders=1)
+        assert ctx.level() is CongestionLevel.MODERATE
+
+    def test_high_level(self):
+        ctx = CongestionContext(utilization=0.8, queue_delay_s=0.0, competing_senders=1)
+        assert ctx.level() is CongestionLevel.HIGH
+
+    def test_severe_level(self):
+        ctx = CongestionContext(utilization=0.95, queue_delay_s=0.0, competing_senders=1)
+        assert ctx.level() is CongestionLevel.SEVERE
+
+    def test_queue_delay_escalates_level(self):
+        # Low utilization but a deep queue still means congestion.
+        ctx = CongestionContext(
+            utilization=0.1, queue_delay_s=0.3, competing_senders=1
+        )
+        assert ctx.level() is CongestionLevel.SEVERE
+
+    def test_worst_metric_wins(self):
+        ctx = CongestionContext(
+            utilization=0.7, queue_delay_s=0.001, competing_senders=1
+        )
+        assert ctx.level() is CongestionLevel.HIGH
+
+    def test_staleness(self):
+        ctx = CongestionContext(0.1, 0.0, 0, timestamp=10.0)
+        assert not ctx.is_stale(now=12.0, max_age_s=5.0)
+        assert ctx.is_stale(now=20.0, max_age_s=5.0)
+
+    def test_level_ordering(self):
+        assert CongestionLevel.LOW.rank < CongestionLevel.MODERATE.rank
+        assert CongestionLevel.MODERATE.rank < CongestionLevel.HIGH.rank
+        assert CongestionLevel.HIGH.rank < CongestionLevel.SEVERE.rank
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100)
+    def test_level_total_and_monotone_in_utilization(self, u, q, n):
+        ctx = CongestionContext(u, q, n)
+        level = ctx.level()
+        assert level in CongestionLevel
+        # Raising utilization never lowers the level.
+        higher = CongestionContext(min(1.0, u + 0.3), q, n)
+        assert higher.level().rank >= level.rank

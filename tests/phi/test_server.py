@@ -1,0 +1,190 @@
+"""Tests for the context server (practical) and the ideal oracle."""
+
+import pytest
+
+from repro.phi.context import CongestionLevel
+from repro.phi.server import ConnectionReport, ContextServer, IdealContextOracle
+from repro.simnet import (
+    ActiveFlowTracker,
+    DumbbellConfig,
+    DumbbellTopology,
+    LinkMonitor,
+    Simulator,
+    make_data_packet,
+)
+from repro.transport.base import ConnectionStats
+
+
+def make_report(reported_at, bytes_transferred=1_000_000, duration=1.0,
+                mean_rtt=0.16, min_rtt=0.15, loss=0.0, flow_id=1):
+    return ConnectionReport(
+        flow_id=flow_id,
+        reported_at=reported_at,
+        bytes_transferred=bytes_transferred,
+        duration_s=duration,
+        mean_rtt_s=mean_rtt,
+        min_rtt_s=min_rtt,
+        loss_indicator=loss,
+    )
+
+
+class TestContextServerProtocol:
+    def _server(self, capacity=15e6, **kwargs):
+        sim = Simulator()
+        return sim, ContextServer(sim, capacity, **kwargs)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ContextServer(sim, 0)
+        with pytest.raises(ValueError):
+            ContextServer(sim, 1e6, window_s=0)
+        with pytest.raises(ValueError):
+            ContextServer(sim, 1e6, ewma_alpha=0)
+
+    def test_lookup_registers_active_connection(self):
+        sim, server = self._server()
+        server.lookup()
+        server.lookup()
+        assert server.active_connections == 2
+        assert server.lookups == 2
+
+    def test_report_deregisters(self):
+        sim, server = self._server()
+        server.lookup()
+        server.report(make_report(0.0))
+        assert server.active_connections == 0
+        assert server.reports_received == 1
+
+    def test_idle_server_reports_idle_context(self):
+        sim, server = self._server()
+        ctx = server.current_context()
+        assert ctx.utilization == 0.0
+        assert ctx.level() is CongestionLevel.LOW
+
+    def test_utilization_estimate_from_reports(self):
+        sim, server = self._server(capacity=8e6, window_s=10.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        # 5 MB in the last 5 seconds over an 8 Mbps capacity and a 10 s
+        # window: 40 Mbit / 80 Mbit = 0.5.
+        server.report(make_report(10.0, bytes_transferred=5_000_000, duration=5.0))
+        assert server.estimated_utilization() == pytest.approx(0.5, rel=0.05)
+
+    def test_long_connection_only_counts_window_overlap(self):
+        sim, server = self._server(capacity=8e6, window_s=10.0)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        # 100 s connection at ~1 Mbps: only the last 10 s overlap.
+        server.report(
+            make_report(100.0, bytes_transferred=12_500_000, duration=100.0)
+        )
+        assert server.estimated_utilization() == pytest.approx(0.125, rel=0.05)
+
+    def test_reports_age_out(self):
+        sim, server = self._server(window_s=5.0)
+        server.report(make_report(0.0, bytes_transferred=10_000_000))
+        sim.schedule(20.0, lambda: None)
+        sim.run()
+        assert server.estimated_utilization() == 0.0
+
+    def test_queue_delay_ewma(self):
+        sim, server = self._server(ewma_alpha=0.5)
+        server.report(make_report(0.0, mean_rtt=0.25, min_rtt=0.15))
+        assert server.estimated_queue_delay() == pytest.approx(0.1)
+        server.report(make_report(0.0, mean_rtt=0.15, min_rtt=0.15))
+        assert server.estimated_queue_delay() == pytest.approx(0.05)
+
+    def test_loss_ewma(self):
+        sim, server = self._server(ewma_alpha=1.0)
+        server.report(make_report(0.0, loss=0.04))
+        assert server.estimated_loss() == pytest.approx(0.04)
+
+    def test_utilization_capped_at_one(self):
+        sim, server = self._server(capacity=1e3)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        server.report(make_report(1.0, bytes_transferred=10_000_000, duration=1.0))
+        assert server.estimated_utilization() == 1.0
+
+    def test_report_from_stats(self):
+        sim, server = self._server()
+        stats = ConnectionStats(flow_id=9)
+        stats.start_time = 0.0
+        stats.end_time = 2.0
+        stats.bytes_goodput = 1000
+        stats.rtt_samples = [0.15, 0.17]
+        stats.min_rtt = 0.15
+        stats.packets_sent = 10
+        server.report_stats(stats)
+        assert server.reports_received == 1
+
+
+class TestConnectionReport:
+    def test_queue_delay(self):
+        report = make_report(0.0, mean_rtt=0.2, min_rtt=0.15)
+        assert report.queue_delay_s == pytest.approx(0.05)
+
+    def test_queue_delay_without_rtt(self):
+        report = make_report(0.0, mean_rtt=0.0, min_rtt=0.0)
+        assert report.queue_delay_s == 0.0
+
+    def test_from_stats(self):
+        stats = ConnectionStats(flow_id=3)
+        stats.start_time = 1.0
+        stats.end_time = 3.0
+        stats.bytes_goodput = 500
+        stats.packets_sent = 100
+        stats.retransmits = 2
+        stats.rtt_samples = [0.1]
+        stats.min_rtt = 0.1
+        report = ConnectionReport.from_stats(stats, reported_at=3.0)
+        assert report.duration_s == pytest.approx(2.0)
+        assert report.loss_indicator == pytest.approx(0.02)
+        assert report.flow_id == 3
+
+
+class TestIdealOracle:
+    def _oracle(self):
+        sim = Simulator()
+        top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+        monitor = LinkMonitor(sim, top.bottleneck, period_s=0.05)
+        monitor.start()
+        tracker = ActiveFlowTracker()
+        return sim, top, monitor, tracker, IdealContextOracle(sim, monitor, tracker)
+
+    def test_idle_network(self):
+        sim, top, monitor, tracker, oracle = self._oracle()
+        sim.run(until=1.0)
+        ctx = oracle.lookup()
+        assert ctx.utilization == 0.0
+        assert ctx.competing_senders == 0.0
+
+    def test_sees_live_utilization(self):
+        sim, top, monitor, tracker, oracle = self._oracle()
+        top.receivers[0].set_default_handler(lambda p: None)
+        for i in range(400):
+            top.senders[0].send(
+                make_data_packet(1, top.senders[0].name, top.receivers[0].name, i, 1400)
+            )
+        # 400 x 1440 B at 15 Mbps keeps the link busy for ~0.3 s; query the
+        # oracle while the burst is still flowing.
+        sim.run(until=0.25)
+        ctx = oracle.current_context()
+        assert ctx.utilization > 0.5
+
+    def test_counts_active_flows(self):
+        sim, top, monitor, tracker, oracle = self._oracle()
+        tracker.flow_started(1, 0.0)
+        tracker.flow_started(2, 0.0)
+        assert oracle.current_context().competing_senders == 2.0
+
+    def test_utilization_provider_is_live(self):
+        sim, top, monitor, tracker, oracle = self._oracle()
+        provider = oracle.utilization_provider()
+        assert provider() == 0.0
+
+    def test_report_is_noop(self):
+        sim, top, monitor, tracker, oracle = self._oracle()
+        oracle.report(make_report(0.0))
+        oracle.report_stats(ConnectionStats(flow_id=1))

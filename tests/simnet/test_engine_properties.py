@@ -1,0 +1,97 @@
+"""Stateful/property stress tests for the event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import Simulator
+
+
+class TestClockMonotonicity:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),  # initial delay
+                st.floats(min_value=0.0, max_value=5.0),   # chained delay
+                st.integers(min_value=0, max_value=3),     # chain length
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60)
+    def test_clock_never_goes_backwards(self, seeds):
+        sim = Simulator()
+        observed = []
+
+        def chain(remaining, delay):
+            observed.append(sim.now)
+            if remaining > 0:
+                sim.schedule(delay, chain, remaining - 1, delay)
+
+        for initial, chained, length in seeds:
+            sim.schedule(initial, chain, length, chained)
+        sim.run()
+        assert observed == sorted(observed)
+        assert sim.pending_events == 0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_run_until_boundary_exact(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, fired.append, delay)
+        cutoff = 50.0
+        sim.run(until=cutoff)
+        assert all(t <= cutoff for t in fired)
+        assert sim.now == max(cutoff, max((t for t in fired), default=0.0))
+        sim.run()
+        assert sorted(fired) == sorted(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=10), st.booleans()),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50)
+    def test_max_events_is_exact(self, entries, budget):
+        sim = Simulator()
+        fired = []
+        live = 0
+        for delay, cancel in entries:
+            handle = sim.schedule(delay, fired.append, delay)
+            if cancel:
+                handle.cancel()
+            else:
+                live += 1
+        sim.run(max_events=budget)
+        assert len(fired) == min(budget, live)
+
+
+class TestEventsDuringRun:
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_self_rescheduling_terminates_with_counter(self, rounds):
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < rounds:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count["n"] == rounds
+
+    def test_zero_delay_events_fire_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("a"),
+                                   sim.schedule(0.0, order.append, "b"),
+                                   sim.schedule(0.0, order.append, "c")))
+        sim.run()
+        assert order == ["a", "b", "c"]

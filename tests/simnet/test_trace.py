@@ -1,0 +1,126 @@
+"""Tests for the tracing subsystem."""
+
+import io
+
+import pytest
+
+from repro.simnet import (
+    DumbbellConfig,
+    DumbbellTopology,
+    FlowSpec,
+    Simulator,
+    TraceEvent,
+    TraceEventType,
+    TracedSenderMixin,
+    Tracer,
+    attach_queue_tracing,
+)
+from repro.transport import CubicSender, TcpSink
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        tracer.emit(TraceEventType.FLOW_START, "src0", flow_id=1)
+        clock.t = 2.0
+        tracer.emit(TraceEventType.FLOW_END, "src0", flow_id=1, value=5.0)
+        assert len(tracer) == 2
+        assert tracer.of_kind(TraceEventType.FLOW_END)[0].time == 2.0
+        assert tracer.for_flow(1)[0].kind is TraceEventType.FLOW_START
+
+    def test_kind_filter(self):
+        tracer = Tracer(FakeClock(), kinds=[TraceEventType.DROP])
+        tracer.emit(TraceEventType.ENQUEUE, "q")
+        tracer.emit(TraceEventType.DROP, "q")
+        assert len(tracer) == 1
+
+    def test_max_events_bound(self):
+        tracer = Tracer(FakeClock(), max_events=2)
+        for __ in range(5):
+            tracer.emit(TraceEventType.CUSTOM, "x")
+        assert len(tracer) == 2
+        assert tracer.dropped_records == 3
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            Tracer(FakeClock(), max_events=0)
+
+    def test_series(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        for t, v in [(0.0, 2.0), (1.0, 4.0), (2.0, 3.0)]:
+            clock.t = t
+            tracer.emit(TraceEventType.CWND, "flow-1", value=v)
+        assert tracer.series(TraceEventType.CWND) == [(0.0, 2.0), (1.0, 4.0), (2.0, 3.0)]
+
+    def test_counts_by_kind(self):
+        tracer = Tracer(FakeClock())
+        tracer.emit(TraceEventType.DROP, "q")
+        tracer.emit(TraceEventType.DROP, "q")
+        tracer.emit(TraceEventType.ENQUEUE, "q")
+        counts = tracer.counts_by_kind()
+        assert counts[TraceEventType.DROP] == 2
+        assert counts[TraceEventType.ENQUEUE] == 1
+
+    def test_json_round_trip(self):
+        tracer = Tracer(FakeClock())
+        tracer.emit(TraceEventType.DELIVER, "link", flow_id=3, value=1.5,
+                    detail="x")
+        buffer = io.StringIO()
+        assert tracer.dump(buffer) == 1
+        buffer.seek(0)
+        loaded = Tracer.load(buffer)
+        assert loaded.events == tracer.events
+
+
+class TestQueueTracing:
+    def test_enqueue_dequeue_drop_traced(self):
+        from repro.simnet.queues import DropTailQueue
+        from repro.simnet.packet import make_data_packet
+
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        queue = DropTailQueue(1500, clock)
+        attach_queue_tracing(queue, tracer, "bottleneck")
+        queue.enqueue(make_data_packet(1, "a", "b", 0, 1000))
+        queue.enqueue(make_data_packet(1, "a", "b", 1, 1000))  # dropped
+        queue.dequeue()
+        counts = tracer.counts_by_kind()
+        assert counts[TraceEventType.ENQUEUE] == 1
+        assert counts[TraceEventType.DROP] == 1
+        assert counts[TraceEventType.DEQUEUE] == 1
+
+
+class TracedCubic(TracedSenderMixin, CubicSender):
+    """Cubic sender with cwnd tracing."""
+
+
+class TestTracedSender:
+    def test_cwnd_trajectory_recorded(self):
+        sim = Simulator()
+        top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+        spec = FlowSpec(1, top.senders[0].name, 1, top.receivers[0].name, 443)
+        TcpSink(sim, top.receivers[0], spec)
+        tracer = Tracer(lambda: sim.now)
+        sender = TracedCubic(
+            sim, top.senders[0], spec, 500_000, tracer=tracer
+        )
+        sender.start()
+        sim.run(until=60.0)
+        trajectory = tracer.series(TraceEventType.CWND, f"flow-{spec.flow_id}")
+        assert len(trajectory) > 10
+        # Slow start grows the window beyond its initial value.
+        values = [v for _t, v in trajectory]
+        assert max(values) > values[0]
+        # Times are non-decreasing.
+        times = [t for t, _v in trajectory]
+        assert times == sorted(times)

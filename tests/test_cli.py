@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_presets_registered(self):
+        assert "table3-remy" in PRESETS
+        assert "fig4-incremental" in PRESETS
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cubic_defaults(self):
+        args = build_parser().parse_args(["cubic"])
+        assert args.preset == "table3-remy"
+        assert args.ssthresh == 65536.0
+
+    def test_incremental_defaults_to_fig4_optimal(self):
+        args = build_parser().parse_args(["incremental"])
+        assert args.preset == "fig4-incremental"
+        assert args.ssthresh == 64.0
+        assert args.fraction == 0.5
+
+    def test_phi_mode_choices(self):
+        args = build_parser().parse_args(["phi", "--mode", "ideal"])
+        assert args.mode == "ideal"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["phi", "--mode", "nope"])
+
+
+class TestCommands:
+    def test_presets_lists_all(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in PRESETS:
+            assert name in out
+
+    def test_unknown_preset_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cubic", "--preset", "nope"])
+
+    def test_cubic_run(self, capsys):
+        assert main(["cubic", "--duration", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "thr=" in out and "P_l=" in out
+
+    def test_phi_run(self, capsys):
+        assert main(["phi", "--duration", "5", "--mode", "ideal"]) == 0
+        assert "cubic-phi (ideal)" in capsys.readouterr().out
+
+    def test_incremental_run(self, capsys):
+        assert main(["incremental", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "modified" in out and "unmodified" in out
+
+    def test_ipfix_run(self, capsys):
+        assert main(["ipfix", "--minutes", "1"]) == 0
+        assert "sharing with >=" in capsys.readouterr().out
+
+    def test_diagnose_detects(self, capsys):
+        assert main(["diagnose"]) == 0
+        out = capsys.readouterr().out
+        assert "detected: asn=isp-a, metro=nyc" in out
