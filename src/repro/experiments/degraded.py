@@ -1,0 +1,233 @@
+"""Degraded-control-plane experiments: Phi under context-server chaos.
+
+The robustness analogue of the Figure 4 staleness ablation: instead of
+asking "how much does coordination help?", these runners ask "how much
+of the help survives when the coordination channel itself is slow,
+lossy, or partitioned?".  Senders go through the full resilient stack —
+:class:`~repro.phi.channel.ControlChannel` (latency/loss/outages,
+timeouts, retries, circuit breaker) wrapped by a
+:class:`~repro.phi.fallback.ResilientContextClient` (staleness TTL,
+default-parameter fallback, report recovery queue) — so a sweep over
+server unavailability traces the graceful-degradation curve between
+Phi-practical (0% down) and the uncoordinated baseline (100% down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.summary import RunMetrics, summarize_runs
+from ..phi.channel import (
+    ChannelConfig,
+    ChannelStats,
+    CircuitBreaker,
+    ControlChannel,
+)
+from ..phi.fallback import ResilientContextClient, resilient_phi_cubic_factory
+from ..phi.policy import PolicyTable
+from ..phi.server import ContextServer
+from ..transport.cubic import CubicParams
+from .dumbbell import (
+    ExperimentEnv,
+    ScenarioResult,
+    run_long_running_scenario,
+    run_onoff_scenario,
+    uniform_slots,
+)
+from .scenarios import ScenarioPreset
+
+
+def schedule_unavailability(
+    channel: ControlChannel,
+    *,
+    fraction: float,
+    duration_s: float,
+    period_s: float = 5.0,
+) -> None:
+    """Spread outage windows covering ``fraction`` of ``[0, duration_s]``.
+
+    The run is cut into ``period_s`` periods; the server is down for the
+    first ``fraction`` of each, so unavailability is evenly distributed
+    rather than one lump (senders see repeated partitions, exercising
+    cache staleness and recovery every period).  ``fraction == 1`` is one
+    outage covering the whole run.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive: {period_s}")
+    if fraction == 0.0:
+        return
+    if fraction >= 1.0:
+        channel.add_outage(0.0, duration_s)
+        return
+    start = 0.0
+    while start < duration_s:
+        window = min(period_s, duration_s - start)
+        down = fraction * window
+        if down > 0:
+            channel.add_outage(start, down)
+        start += period_s
+
+
+@dataclass
+class DegradedRunResult:
+    """One degraded run plus the control plane's own accounting."""
+
+    result: ScenarioResult
+    unavailability: float
+    decision_counts: Dict[str, int]
+    channel_stats: ChannelStats
+    pending_reports: int
+    leases_expired: int
+
+    @property
+    def metrics(self) -> RunMetrics:
+        """The run's aggregate transport metrics."""
+        return self.result.metrics
+
+
+def run_degraded_phi_cubic(
+    policy: PolicyTable,
+    preset: ScenarioPreset,
+    *,
+    unavailability: float,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+    staleness_ttl_s: float = 10.0,
+    channel_config: Optional[ChannelConfig] = None,
+    outage_period_s: float = 5.0,
+    lease_ttl_s: Optional[float] = 60.0,
+    fallback_params: Optional[CubicParams] = None,
+    breaker_failure_threshold: int = 5,
+    breaker_reset_s: float = 1.0,
+) -> DegradedRunResult:
+    """Phi-coordinated Cubic behind a failing control plane.
+
+    All senders share one :class:`ContextServer` reached through one
+    :class:`ControlChannel` with ``unavailability`` of the run's duration
+    spent in scheduled outages, and degrade via a
+    :class:`ResilientContextClient`.  With ``unavailability=0`` and a
+    loss-free channel this is exactly ``run_phi_cubic`` (practical
+    mode); with ``unavailability=1`` every connection falls back to
+    ``fallback_params`` (stock Cubic by default), i.e. the uncoordinated
+    baseline.
+    """
+    duration = duration_s if duration_s is not None else preset.duration_s
+    holders: dict = {}
+
+    def build(env: ExperimentEnv):
+        server = ContextServer(
+            env.sim, env.bottleneck_capacity_bps, lease_ttl_s=lease_ttl_s
+        )
+        cfg = channel_config or ChannelConfig()
+        needs_rng = cfg.loss_probability > 0 or cfg.jitter_s > 0
+        channel = ControlChannel(
+            env.sim,
+            server,
+            config=cfg,
+            rng=env.rngs.stream("control-channel") if needs_rng else None,
+            # A breaker whose cool-down dwarfs the outage cadence would
+            # stay open through entire recovery windows; keep the reset
+            # short relative to the injected outage period.
+            breaker=CircuitBreaker(
+                lambda: env.sim.now,
+                failure_threshold=breaker_failure_threshold,
+                reset_timeout_s=breaker_reset_s,
+            ),
+        )
+        schedule_unavailability(
+            channel,
+            fraction=unavailability,
+            duration_s=duration,
+            period_s=outage_period_s,
+        )
+        client = ResilientContextClient(
+            channel, now=lambda: env.sim.now, staleness_ttl_s=staleness_ttl_s
+        )
+        holders.update(server=server, channel=channel, client=client)
+        return resilient_phi_cubic_factory(
+            client, policy, now=lambda: env.sim.now, fallback_params=fallback_params
+        )
+
+    if preset.workload is None:
+        result = run_long_running_scenario(
+            uniform_slots(build),
+            config=preset.config,
+            duration_s=duration,
+            seed=seed,
+        )
+    else:
+        result = run_onoff_scenario(
+            uniform_slots(build),
+            config=preset.config,
+            workload=preset.workload,
+            duration_s=duration,
+            seed=seed,
+        )
+    client: ResilientContextClient = holders["client"]
+    channel: ControlChannel = holders["channel"]
+    server: ContextServer = holders["server"]
+    return DegradedRunResult(
+        result=result,
+        unavailability=unavailability,
+        decision_counts=client.decision_counts(),
+        channel_stats=channel.stats,
+        pending_reports=client.pending_reports,
+        leases_expired=server.leases_expired,
+    )
+
+
+@dataclass
+class DegradedSweepRow:
+    """Aggregated outcome of one unavailability fraction across seeds."""
+
+    unavailability: float
+    mean_power_l: float
+    mean_throughput_mbps: float
+    mean_delay_ms: float
+    decision_counts: Dict[str, int]
+
+
+def sweep_unavailability(
+    policy: PolicyTable,
+    preset: ScenarioPreset,
+    fractions: Sequence[float],
+    *,
+    seeds: Sequence[int] = (0, 1),
+    duration_s: Optional[float] = None,
+    **kwargs,
+) -> List[DegradedSweepRow]:
+    """The graceful-degradation curve: power vs. server unavailability.
+
+    Extra keyword arguments pass through to :func:`run_degraded_phi_cubic`.
+    """
+    rows: List[DegradedSweepRow] = []
+    for fraction in fractions:
+        runs = [
+            run_degraded_phi_cubic(
+                policy,
+                preset,
+                unavailability=fraction,
+                seed=seed,
+                duration_s=duration_s,
+                **kwargs,
+            )
+            for seed in seeds
+        ]
+        decisions: Dict[str, int] = {}
+        for run in runs:
+            for key, count in run.decision_counts.items():
+                decisions[key] = decisions.get(key, 0) + count
+        aggregate = summarize_runs([run.metrics for run in runs])
+        rows.append(
+            DegradedSweepRow(
+                unavailability=fraction,
+                mean_power_l=aggregate.mean_power_l,
+                mean_throughput_mbps=aggregate.mean_throughput_mbps,
+                mean_delay_ms=aggregate.mean_queueing_delay_ms,
+                decision_counts=decisions,
+            )
+        )
+    return rows

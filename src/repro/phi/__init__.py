@@ -19,12 +19,28 @@ from .context import (
     CongestionContext,
     CongestionLevel,
 )
+from .channel import (
+    BreakerState,
+    ChannelConfig,
+    ChannelStats,
+    CircuitBreaker,
+    ControlChannel,
+    RpcError,
+    RpcResult,
+    RpcStatus,
+)
 from .client import (
     SharingMode,
     phi_cubic_factory,
     phi_remy_factory,
     plain_cubic_factory,
     plain_remy_factory,
+)
+from .fallback import (
+    ContextDecision,
+    ResilientContextClient,
+    ResolvedContext,
+    resilient_phi_cubic_factory,
 )
 from .deployment import (
     DeploymentMode,
@@ -46,9 +62,20 @@ from .server import ConnectionReport, ContextServer, IdealContextOracle
 
 __all__ = [
     "Aggregator",
+    "BreakerState",
     "CUBIC_SWEEP_GRID",
+    "ChannelConfig",
+    "ChannelStats",
+    "CircuitBreaker",
+    "ContextDecision",
+    "ControlChannel",
     "FAIR_SHARE_THRESHOLDS_MBPS",
     "QUEUE_DELAY_THRESHOLDS",
+    "ResilientContextClient",
+    "ResolvedContext",
+    "RpcError",
+    "RpcResult",
+    "RpcStatus",
     "SecureCongestionAggregation",
     "make_shares",
     "REFERENCE_POLICY",
@@ -72,6 +99,7 @@ __all__ = [
     "phi_remy_factory",
     "plain_cubic_factory",
     "plain_remy_factory",
+    "resilient_phi_cubic_factory",
     "select_optimal",
     "split_stats",
     "sweep",

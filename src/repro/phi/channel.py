@@ -1,0 +1,377 @@
+"""The client <-> context-server control channel, with failures.
+
+The paper's deployable design (Section 2.2.2) routes every connection
+start through a lookup RPC and every connection end through a report RPC.
+The reproduction originally modelled those as infallible function calls;
+this module makes the channel a first-class, failure-aware component:
+
+- per-attempt **latency** (with optional jitter) and **message loss**;
+- **server outage windows**, either scheduled up front or driven live by
+  a :class:`repro.simnet.faults.ServerOutage` via ``mark_down``/``mark_up``;
+- per-call **timeout** plus bounded **exponential-backoff retry**,
+  budgeted by a hard **deadline** so retries can never stall a
+  connection start indefinitely;
+- a **circuit breaker** that stops hammering a dead server after
+  consecutive failures and probes it again after a cool-down.
+
+RPC timing is *simulated*: each call happens atomically at the current
+simulation instant, but the channel draws the latencies the attempts
+would have taken and accounts them (attempts, elapsed time, outcome) in
+the returned :class:`RpcResult`.  This keeps the synchronous
+``ContextSource`` protocol intact — a :class:`ControlChannel` drops in
+anywhere a server does — while every failure mode still surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from ..simnet.engine import Simulator
+from .context import CongestionContext
+from .server import ConnectionReport
+
+
+class RpcStatus(Enum):
+    """Terminal outcome of one control-channel call (after retries)."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"            # every attempt lost or over-latency
+    SERVER_DOWN = "server_down"    # server unavailable for every attempt
+    DEADLINE_EXCEEDED = "deadline" # retry budget exhausted before success
+    CIRCUIT_OPEN = "circuit_open"  # failed fast; breaker is open
+
+
+class RpcError(RuntimeError):
+    """Raised by the ContextSource-compatible surface on call failure."""
+
+    def __init__(self, result: "RpcResult") -> None:
+        super().__init__(f"control-channel call failed: {result.status.value}")
+        self.result = result
+
+
+@dataclass(frozen=True)
+class RpcResult:
+    """What one call cost and how it ended."""
+
+    status: RpcStatus
+    attempts: int
+    elapsed_s: float
+    value: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RpcStatus.OK
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Timing and reliability knobs for the control channel.
+
+    Attributes
+    ----------
+    latency_s:
+        Baseline round-trip time of one RPC attempt.
+    jitter_s:
+        Uniform extra latency in [0, jitter_s) per attempt (needs an rng).
+    loss_probability:
+        Chance an attempt's request or response is lost (needs an rng).
+    timeout_s:
+        How long the client waits for an attempt before declaring it dead.
+    max_retries:
+        Extra attempts after the first (0 = single shot).
+    backoff_base_s / backoff_multiplier / backoff_max_s:
+        Exponential backoff between attempts: attempt ``k`` (0-based)
+        waits ``min(base * multiplier**k, max)`` before retrying.
+    deadline_s:
+        Hard per-call budget.  A retry is only launched if, even in the
+        worst case (full backoff plus a full timeout), the call would
+        still finish inside the deadline — so a connection start is
+        never delayed past it.
+    """
+
+    latency_s: float = 0.005
+    jitter_s: float = 0.0
+    loss_probability: float = 0.0
+    timeout_s: float = 0.25
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 1.0
+    deadline_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.jitter_s < 0:
+            raise ValueError(
+                f"latency/jitter must be >= 0: {self.latency_s}, {self.jitter_s}"
+            )
+        if not 0 <= self.loss_probability < 1:
+            raise ValueError(
+                f"loss probability must be in [0, 1): {self.loss_probability}"
+            )
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout must be positive: {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ValueError(
+                f"backoff multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline must be positive: {self.deadline_s}")
+
+    def backoff_s(self, attempt_index: int) -> float:
+        """Backoff before retry number ``attempt_index`` (0-based)."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_multiplier ** attempt_index,
+        )
+
+
+class BreakerState(Enum):
+    """Classic three-state circuit breaker."""
+
+    CLOSED = "closed"        # normal operation
+    OPEN = "open"            # failing fast, not calling the server
+    HALF_OPEN = "half_open"  # cool-down elapsed; next call is a probe
+
+
+class CircuitBreaker:
+    """Trips after ``failure_threshold`` consecutive failures.
+
+    While OPEN, calls fail immediately (no attempts, no time spent).
+    After ``reset_timeout_s`` the breaker half-opens: one probe call is
+    allowed through; success re-closes it, failure re-opens it for
+    another cool-down.
+    """
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 10.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
+        if reset_timeout_s <= 0:
+            raise ValueError(f"reset_timeout_s must be positive: {reset_timeout_s}")
+        self._now = now
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (OPEN lazily decays to HALF_OPEN after cool-down)."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._now() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may reach the server right now."""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state is not BreakerState.OPEN:
+                self.trips += 1
+            self._state = BreakerState.OPEN
+            self._opened_at = self._now()
+            self._consecutive_failures = 0
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative accounting across every call on one channel."""
+
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    attempts: int = 0
+    retries: int = 0
+    fast_failures: int = 0  # rejected by the open breaker
+    rpc_time_s: float = 0.0
+    by_status: dict = field(default_factory=dict)
+
+    def record(self, result: RpcResult) -> None:
+        self.calls += 1
+        self.attempts += result.attempts
+        self.retries += max(0, result.attempts - 1)
+        self.rpc_time_s += result.elapsed_s
+        if result.ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+            if result.status is RpcStatus.CIRCUIT_OPEN:
+                self.fast_failures += 1
+        key = result.status.value
+        self.by_status[key] = self.by_status.get(key, 0) + 1
+
+
+class ControlChannel:
+    """Failure-aware RPC front for any ``ContextSource`` backend.
+
+    Exposes two surfaces:
+
+    - :meth:`call_lookup` / :meth:`call_report` return an
+      :class:`RpcResult` (never raise on channel failure);
+    - :meth:`lookup` / :meth:`report` keep the plain ``ContextSource``
+      protocol, raising :class:`RpcError` when the call fails, so the
+      channel drops in wherever a server is expected.
+
+    Availability is a down-mark *counter* so overlapping
+    :class:`~repro.simnet.faults.ServerOutage` windows nest correctly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend,
+        *,
+        config: Optional[ChannelConfig] = None,
+        rng=None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        self.sim = sim
+        self.backend = backend
+        self.config = config or ChannelConfig()
+        if rng is None and (
+            self.config.loss_probability > 0 or self.config.jitter_s > 0
+        ):
+            raise ValueError("loss/jitter simulation requires an rng")
+        self.rng = rng
+        self.breaker = breaker or CircuitBreaker(lambda: sim.now)
+        self.stats = ChannelStats()
+        self._down_marks = 0
+
+    # ------------------------------------------------------------------
+    # Availability (driven by ServerOutage faults or scheduled windows)
+    # ------------------------------------------------------------------
+    @property
+    def server_up(self) -> bool:
+        """Whether the backend is reachable at this instant."""
+        return self._down_marks == 0
+
+    def mark_down(self) -> None:
+        """One more reason the server is unreachable (outage begin)."""
+        self._down_marks += 1
+
+    def mark_up(self) -> None:
+        """One outage ended; the server recovers when all have."""
+        if self._down_marks > 0:
+            self._down_marks -= 1
+
+    def add_outage(self, start_s: float, duration_s: float) -> None:
+        """Schedule an unavailability window on the simulator calendar."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        if start_s <= self.sim.now:
+            # Already inside (or at) the window start: take effect now.
+            self.mark_down()
+            self.sim.schedule_at(
+                max(self.sim.now, start_s + duration_s), self.mark_up
+            )
+            return
+        self.sim.schedule_at(start_s, self.mark_down)
+        self.sim.schedule_at(start_s + duration_s, self.mark_up)
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+    def call_lookup(self) -> RpcResult:
+        """Connection-start lookup as a fallible RPC."""
+        return self._call(self.backend.lookup)
+
+    def call_report(self, report: ConnectionReport) -> RpcResult:
+        """Connection-end report as a fallible RPC."""
+        return self._call(lambda: self.backend.report(report))
+
+    def lookup(self) -> CongestionContext:
+        """ContextSource-compatible lookup; raises :class:`RpcError`."""
+        result = self.call_lookup()
+        if not result.ok:
+            raise RpcError(result)
+        return result.value
+
+    def report(self, report: ConnectionReport) -> None:
+        """ContextSource-compatible report; raises :class:`RpcError`."""
+        result = self.call_report(report)
+        if not result.ok:
+            raise RpcError(result)
+
+    def report_stats(self, stats) -> None:
+        """Convenience parity with :class:`ContextServer`."""
+        self.report(ConnectionReport.from_stats(stats, self.sim.now))
+
+    # ------------------------------------------------------------------
+    # Attempt/retry machinery
+    # ------------------------------------------------------------------
+    def _attempt_latency(self) -> float:
+        latency = self.config.latency_s
+        if self.config.jitter_s > 0:
+            latency += float(self.rng.uniform(0.0, self.config.jitter_s))
+        return latency
+
+    def _call(self, fn: Callable[[], Any]) -> RpcResult:
+        cfg = self.config
+        elapsed = 0.0
+        attempts = 0
+        last_status = RpcStatus.TIMEOUT
+        while True:
+            if not self.breaker.allow():
+                result = RpcResult(RpcStatus.CIRCUIT_OPEN, attempts, elapsed)
+                self.stats.record(result)
+                return result
+            attempts += 1
+            if not self.server_up:
+                # Request goes unanswered: the attempt burns a timeout.
+                elapsed += cfg.timeout_s
+                last_status = RpcStatus.SERVER_DOWN
+                self.breaker.record_failure()
+            elif cfg.loss_probability > 0 and self.rng.random() < cfg.loss_probability:
+                elapsed += cfg.timeout_s
+                last_status = RpcStatus.TIMEOUT
+                self.breaker.record_failure()
+            else:
+                latency = self._attempt_latency()
+                if latency > cfg.timeout_s:
+                    elapsed += cfg.timeout_s
+                    last_status = RpcStatus.TIMEOUT
+                    self.breaker.record_failure()
+                else:
+                    elapsed += latency
+                    self.breaker.record_success()
+                    value = fn()
+                    result = RpcResult(RpcStatus.OK, attempts, elapsed, value)
+                    self.stats.record(result)
+                    return result
+            # Retry, if both the attempt count and the deadline allow a
+            # worst-case (backoff + full timeout) follow-up attempt.
+            if attempts > cfg.max_retries:
+                break
+            backoff = cfg.backoff_s(attempts - 1)
+            if elapsed + backoff + cfg.timeout_s > cfg.deadline_s:
+                last_status = RpcStatus.DEADLINE_EXCEEDED
+                break
+            elapsed += backoff
+        result = RpcResult(last_status, attempts, elapsed)
+        self.stats.record(result)
+        return result

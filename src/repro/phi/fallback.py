@@ -1,0 +1,228 @@
+"""Graceful degradation for Phi clients when the control plane fails.
+
+TCPTuner-style evidence says acting on garbage tuning parameters is
+worse than the defaults, so a sender that cannot reach (or cannot
+trust) the context server must fail *safe*: fall back to exactly the
+uncoordinated behaviour the status quo ships.  The
+:class:`ResilientContextClient` wraps any ``ContextSource`` — in
+practice a :class:`~repro.phi.channel.ControlChannel` — and implements
+that discipline:
+
+- **FRESH**: the lookup succeeded; use the live context.
+- **STALE**: the lookup failed but a cached context is younger than the
+  staleness TTL; use the cache (still coordinated, slightly old).
+- **FALLBACK**: no usable context; the caller must behave exactly like
+  an unmodified sender (default Cubic parameters).
+
+Every decision is tagged and counted so experiments can attribute
+outcomes to context quality.  End-of-connection reports that fail are
+queued (bounded) and flushed opportunistically once the channel works
+again, so the server's shared state heals after a partition instead of
+losing the partition's history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Deque, Dict, Optional
+
+from ..simnet.engine import Simulator
+from ..simnet.node import Host
+from ..simnet.packet import FlowSpec
+from ..transport.base import TcpSender
+from ..transport.cubic import CubicParams, CubicSender
+from .context import CongestionContext
+from .policy import PolicyTable
+from .server import ConnectionReport
+
+
+class ContextDecision(Enum):
+    """How a connection's starting context was obtained."""
+
+    FRESH = "fresh"        # live lookup succeeded
+    STALE = "stale"        # lookup failed; cache within TTL used
+    FALLBACK = "fallback"  # no usable context; uncoordinated defaults
+
+
+@dataclass(frozen=True)
+class ResolvedContext:
+    """One lookup outcome: the context (if any) and its provenance."""
+
+    decision: ContextDecision
+    context: Optional[CongestionContext]
+    age_s: float = 0.0
+
+    @property
+    def coordinated(self) -> bool:
+        """Whether the caller may act on shared state at all."""
+        return self.decision is not ContextDecision.FALLBACK
+
+
+class ResilientContextClient:
+    """Failure-masking wrapper around any ``ContextSource``.
+
+    Parameters
+    ----------
+    source:
+        The (possibly failing) context source.  Lookup/report failures
+        must surface as exceptions — e.g.
+        :class:`~repro.phi.channel.RpcError` from a ControlChannel.  A
+        plain :class:`~repro.phi.server.ContextServer` also works; it
+        simply never fails.
+    now:
+        Clock callable (simulation time).
+    staleness_ttl_s:
+        Maximum age of a cached context before it stops being usable as
+        a STALE answer and the client falls back to defaults.
+    max_pending_reports:
+        Bound on the recovery queue of unsent end-of-connection reports;
+        beyond it the oldest queued report is dropped (and counted).
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        now: Callable[[], float],
+        staleness_ttl_s: float = 10.0,
+        max_pending_reports: int = 1024,
+    ) -> None:
+        if staleness_ttl_s < 0:
+            raise ValueError(f"staleness_ttl_s must be >= 0: {staleness_ttl_s}")
+        if max_pending_reports < 1:
+            raise ValueError(
+                f"max_pending_reports must be >= 1: {max_pending_reports}"
+            )
+        self.source = source
+        self.now = now
+        self.staleness_ttl_s = staleness_ttl_s
+        self.max_pending_reports = max_pending_reports
+        self._cached: Optional[CongestionContext] = None
+        self._cached_at = 0.0
+        self._pending: Deque[ConnectionReport] = deque()
+        self.decisions: Dict[ContextDecision, int] = {d: 0 for d in ContextDecision}
+        self.reports_sent = 0
+        self.reports_queued = 0
+        self.reports_dropped = 0
+        self.reports_flushed = 0
+
+    # ------------------------------------------------------------------
+    # Lookup with degradation
+    # ------------------------------------------------------------------
+    def resolve(self) -> ResolvedContext:
+        """Obtain a starting context, degrading gracefully on failure."""
+        try:
+            context = self.source.lookup()
+        except Exception:
+            return self._degraded()
+        self._cached = context
+        self._cached_at = self.now()
+        self.decisions[ContextDecision.FRESH] += 1
+        self._flush_pending()
+        return ResolvedContext(ContextDecision.FRESH, context)
+
+    def _degraded(self) -> ResolvedContext:
+        if self._cached is not None:
+            age = self.now() - self._cached_at
+            if age <= self.staleness_ttl_s:
+                self.decisions[ContextDecision.STALE] += 1
+                return ResolvedContext(ContextDecision.STALE, self._cached, age)
+        self.decisions[ContextDecision.FALLBACK] += 1
+        return ResolvedContext(ContextDecision.FALLBACK, None)
+
+    def lookup(self) -> CongestionContext:
+        """ContextSource parity: FALLBACK surfaces as an idle context."""
+        resolved = self.resolve()
+        if resolved.context is not None:
+            return resolved.context
+        return CongestionContext.idle(self.now())
+
+    # ------------------------------------------------------------------
+    # Reports with recovery queue
+    # ------------------------------------------------------------------
+    def report(self, report: ConnectionReport) -> None:
+        """Send a report, queueing it for later if the channel is down."""
+        self._flush_pending()
+        if self._pending:
+            # Still partitioned: preserve order behind the queued backlog.
+            self._enqueue(report)
+            return
+        try:
+            self.source.report(report)
+        except Exception:
+            self._enqueue(report)
+        else:
+            self.reports_sent += 1
+
+    def report_stats(self, stats) -> None:
+        """Convenience parity with :class:`ContextServer`."""
+        self.report(ConnectionReport.from_stats(stats, self.now()))
+
+    def _enqueue(self, report: ConnectionReport) -> None:
+        if len(self._pending) >= self.max_pending_reports:
+            self._pending.popleft()
+            self.reports_dropped += 1
+        self._pending.append(report)
+        self.reports_queued += 1
+
+    def _flush_pending(self) -> None:
+        while self._pending:
+            head = self._pending[0]
+            try:
+                self.source.report(head)
+            except Exception:
+                return
+            self._pending.popleft()
+            self.reports_sent += 1
+            self.reports_flushed += 1
+
+    @property
+    def pending_reports(self) -> int:
+        """Reports waiting for the channel to recover."""
+        return len(self._pending)
+
+    def decision_counts(self) -> Dict[str, int]:
+        """Plain-dict decision mix (keys are decision names)."""
+        return {d.value: n for d, n in self.decisions.items()}
+
+
+def resilient_phi_cubic_factory(
+    client: ResilientContextClient,
+    policy: PolicyTable,
+    *,
+    now: Callable[[], float],
+    fallback_params: Optional[CubicParams] = None,
+):
+    """A SenderFactory with fail-safe Phi coordination.
+
+    FRESH/STALE contexts key the policy table exactly like
+    :func:`~repro.phi.client.phi_cubic_factory`; FALLBACK connections use
+    ``fallback_params`` (default: stock Cubic), making a fully-partitioned
+    deployment bit-identical to the uncoordinated baseline.
+    """
+    defaults = fallback_params if fallback_params is not None else CubicParams.default()
+
+    def factory(
+        sim: Simulator,
+        host: Host,
+        spec: FlowSpec,
+        flow_size_bytes: int,
+        on_complete: Callable[[TcpSender], None],
+    ) -> TcpSender:
+        resolved = client.resolve()
+        if resolved.context is not None:
+            params = policy.params_for(resolved.context)
+        else:
+            params = defaults
+
+        def report_and_complete(sender: TcpSender) -> None:
+            client.report(ConnectionReport.from_stats(sender.stats, now()))
+            on_complete(sender)
+
+        return CubicSender(
+            sim, host, spec, flow_size_bytes, report_and_complete, params=params
+        )
+
+    return factory

@@ -79,6 +79,11 @@ class ContextServer:
         Sliding estimation window.  Reports older than this age out.
     ewma_alpha:
         Smoothing for the queue-delay and loss estimates.
+    lease_ttl_s:
+        How long a lookup counts toward ``n`` without a matching report.
+        A sender that crashes (or whose report is lost) would otherwise
+        inflate the active-connection count forever; its lease expires
+        after this long instead.  ``None`` disables expiry.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class ContextServer:
         *,
         window_s: float = 10.0,
         ewma_alpha: float = 0.3,
+        lease_ttl_s: Optional[float] = 300.0,
     ) -> None:
         if bottleneck_capacity_bps <= 0:
             raise ValueError(
@@ -97,19 +103,25 @@ class ContextServer:
             raise ValueError(f"window_s must be positive: {window_s}")
         if not 0 < ewma_alpha <= 1:
             raise ValueError(f"ewma_alpha must be in (0, 1]: {ewma_alpha}")
+        if lease_ttl_s is not None and lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be positive: {lease_ttl_s}")
         self.sim = sim
         self.capacity_bps = bottleneck_capacity_bps
         self.window_s = window_s
         self.ewma_alpha = ewma_alpha
+        self.lease_ttl_s = lease_ttl_s
 
         self._reports: Deque[ConnectionReport] = deque()
-        self._active_connections = 0
+        #: Lookup timestamps whose connections have not reported back yet;
+        #: each is a lease on one slot of ``n``.
+        self._leases: Deque[float] = deque()
         self._queue_delay_ewma = 0.0
         self._loss_ewma = 0.0
         self._have_estimate = False
 
         self.lookups = 0
         self.reports_received = 0
+        self.leases_expired = 0
 
     # ------------------------------------------------------------------
     # Protocol: lookup at connection start, report at connection end.
@@ -118,16 +130,24 @@ class ContextServer:
         """Connection-start query: the current congestion context.
 
         Also registers the connection as active (the lookup itself tells
-        the server a new connection is starting, contributing to ``n``).
+        the server a new connection is starting, contributing to ``n``)
+        by taking out a lease that a later report releases — or that
+        expires after ``lease_ttl_s`` if the sender never reports back.
         """
         self.lookups += 1
-        self._active_connections += 1
+        self._expire_leases()
+        self._leases.append(self.sim.now)
         return self.current_context()
 
     def report(self, report: ConnectionReport) -> None:
         """Connection-end report: fold the connection's experience in."""
         self.reports_received += 1
-        self._active_connections = max(0, self._active_connections - 1)
+        self._expire_leases()
+        if self._leases:
+            # Release the oldest outstanding lease (reports carry no
+            # lookup id in the paper's minimal protocol, so FIFO pairing
+            # is the best-effort match).
+            self._leases.popleft()
         self._reports.append(report)
         self._expire_old_reports()
         alpha = self.ewma_alpha
@@ -154,6 +174,14 @@ class ContextServer:
         horizon = self.sim.now - self.window_s
         while self._reports and self._reports[0].reported_at < horizon:
             self._reports.popleft()
+
+    def _expire_leases(self) -> None:
+        if self.lease_ttl_s is None:
+            return
+        horizon = self.sim.now - self.lease_ttl_s
+        while self._leases and self._leases[0] <= horizon:
+            self._leases.popleft()
+            self.leases_expired += 1
 
     def estimated_utilization(self) -> float:
         """u: recently reported goodput over the known capacity.
@@ -186,16 +214,18 @@ class ContextServer:
 
     @property
     def active_connections(self) -> int:
-        """n: connections that looked up but have not yet reported back."""
-        return self._active_connections
+        """n: unexpired lookups that have not yet reported back."""
+        self._expire_leases()
+        return len(self._leases)
 
     def current_context(self) -> CongestionContext:
         """Assemble the (u, q, n) snapshot from the practical estimates.
 
         ``n`` (and the fair share derived from it) is exact in real time:
-        the server counts lookups that have not reported back.
+        the server counts leases — lookups that have neither reported
+        back nor expired.
         """
-        n = self._active_connections
+        n = self.active_connections
         fair_share = self.capacity_bps / max(1, n) / 1e6
         return CongestionContext(
             utilization=self.estimated_utilization(),

@@ -13,7 +13,15 @@ Public surface:
 """
 
 from .engine import EventHandle, SimulationError, Simulator
-from .faults import LinkOutage, RandomLoss
+from .faults import (
+    DelaySpike,
+    FaultInjector,
+    LinkFault,
+    LinkFlap,
+    LinkOutage,
+    RandomLoss,
+    ServerOutage,
+)
 from .link import Link, bdp_bytes
 from .red import RedQueue
 from .monitor import ActiveFlowTracker, LinkMonitor, LinkSample
@@ -54,20 +62,25 @@ __all__ = [
     "MSS_BYTES",
     "PAPER_BUFFER_BDP_MULTIPLE",
     "ActiveFlowTracker",
+    "DelaySpike",
     "DropTailQueue",
     "DumbbellConfig",
     "DumbbellTopology",
     "EventHandle",
+    "FaultInjector",
     "FlowIdAllocator",
     "FlowSpec",
     "Host",
     "Link",
+    "LinkFault",
+    "LinkFlap",
     "LinkMonitor",
     "LinkOutage",
     "LinkSample",
     "RandomLoss",
     "RedQueue",
     "Node",
+    "ServerOutage",
     "Packet",
     "PacketKind",
     "ParkingLotTopology",

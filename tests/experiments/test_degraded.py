@@ -1,0 +1,137 @@
+"""Tests for the degraded-control-plane experiment runner."""
+
+import pytest
+
+from repro.experiments import (
+    run_cubic_fixed,
+    run_degraded_phi_cubic,
+    run_phi_cubic,
+    schedule_unavailability,
+    sweep_unavailability,
+)
+from repro.experiments.scenarios import ScenarioPreset
+from repro.phi import REFERENCE_POLICY, ChannelConfig, ControlChannel, SharingMode
+from repro.phi.server import ContextServer
+from repro.simnet import DumbbellConfig, Simulator
+from repro.transport import CubicParams
+from repro.workload import OnOffConfig
+
+PRESET = ScenarioPreset(
+    name="degraded-mini",
+    config=DumbbellConfig(n_senders=4),
+    workload=OnOffConfig(mean_on_bytes=200_000, mean_off_s=0.5),
+    duration_s=10.0,
+    description="small degraded-control-plane smoke scenario",
+)
+
+
+class TestScheduleUnavailability:
+    def _channel(self):
+        sim = Simulator()
+        return sim, ControlChannel(sim, ContextServer(sim, 15e6))
+
+    def test_zero_fraction_schedules_nothing(self):
+        sim, channel = self._channel()
+        schedule_unavailability(channel, fraction=0.0, duration_s=10.0)
+        assert sim.pending_events == 0
+        assert channel.server_up
+
+    def test_full_fraction_covers_whole_run(self):
+        sim, channel = self._channel()
+        schedule_unavailability(channel, fraction=1.0, duration_s=10.0)
+        assert not channel.server_up
+        sim.run(until=9.9)
+        assert not channel.server_up
+        sim.run(until=10.5)
+        assert channel.server_up
+
+    def test_partial_fraction_alternates(self):
+        sim, channel = self._channel()
+        schedule_unavailability(
+            channel, fraction=0.5, duration_s=10.0, period_s=2.0
+        )
+        seen = {}
+        for t in (0.5, 1.5, 2.5, 3.5):
+            sim.schedule_at(t, lambda t=t: seen.update({t: channel.server_up}))
+        sim.run()
+        assert seen == {0.5: False, 1.5: True, 2.5: False, 3.5: True}
+
+    def test_validation(self):
+        _sim, channel = self._channel()
+        with pytest.raises(ValueError):
+            schedule_unavailability(channel, fraction=1.5, duration_s=10.0)
+        with pytest.raises(ValueError):
+            schedule_unavailability(
+                channel, fraction=0.5, duration_s=10.0, period_s=0.0
+            )
+
+
+class TestDegradedRuns:
+    def test_fully_partitioned_equals_uncoordinated_baseline(self):
+        degraded = run_degraded_phi_cubic(
+            REFERENCE_POLICY, PRESET, unavailability=1.0, seed=3
+        )
+        baseline = run_cubic_fixed(CubicParams.default(), PRESET, seed=3)
+        # Every connection fell back to stock Cubic, so the run is
+        # bit-identical to the uncoordinated baseline.
+        assert degraded.decision_counts["fresh"] == 0
+        assert degraded.decision_counts["stale"] == 0
+        assert degraded.decision_counts["fallback"] > 0
+        assert degraded.metrics.throughput_mbps == pytest.approx(
+            baseline.metrics.throughput_mbps
+        )
+        assert degraded.metrics.power_l == pytest.approx(baseline.metrics.power_l)
+        assert degraded.channel_stats.successes == 0
+
+    def test_healthy_control_plane_equals_practical_phi(self):
+        degraded = run_degraded_phi_cubic(
+            REFERENCE_POLICY, PRESET, unavailability=0.0, seed=3
+        )
+        practical = run_phi_cubic(
+            REFERENCE_POLICY, PRESET, mode=SharingMode.PRACTICAL, seed=3
+        )
+        assert degraded.decision_counts["fallback"] == 0
+        assert degraded.decision_counts["stale"] == 0
+        assert degraded.metrics.throughput_mbps == pytest.approx(
+            practical.metrics.throughput_mbps
+        )
+        assert degraded.metrics.power_l == pytest.approx(practical.metrics.power_l)
+
+    def test_partial_unavailability_mixes_decisions(self):
+        degraded = run_degraded_phi_cubic(
+            REFERENCE_POLICY,
+            PRESET,
+            unavailability=0.5,
+            seed=3,
+            outage_period_s=2.0,
+            staleness_ttl_s=1.0,
+        )
+        counts = degraded.decision_counts
+        assert counts["fresh"] > 0
+        assert counts["stale"] + counts["fallback"] > 0
+        assert degraded.channel_stats.failures > 0
+
+    def test_lossy_channel_reports_recover(self):
+        degraded = run_degraded_phi_cubic(
+            REFERENCE_POLICY,
+            PRESET,
+            unavailability=0.5,
+            seed=3,
+            outage_period_s=2.0,
+            channel_config=ChannelConfig(max_retries=1, deadline_s=0.5),
+        )
+        # Reports queued during outages were flushed once the server
+        # returned; nothing is stranded at end of run unless the run
+        # ended inside an outage window.
+        assert degraded.pending_reports <= degraded.decision_counts["fallback"]
+
+    def test_sweep_rows_cover_fractions(self):
+        rows = sweep_unavailability(
+            REFERENCE_POLICY,
+            PRESET,
+            fractions=(0.0, 1.0),
+            seeds=(3,),
+        )
+        assert [row.unavailability for row in rows] == [0.0, 1.0]
+        assert all(row.mean_power_l > 0 for row in rows)
+        assert rows[1].decision_counts["fresh"] == 0

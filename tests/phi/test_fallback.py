@@ -1,0 +1,238 @@
+"""Tests for the resilient context client's degradation discipline."""
+
+import pytest
+
+from repro.phi.channel import ChannelConfig, ControlChannel
+from repro.phi.context import CongestionContext
+from repro.phi.fallback import (
+    ContextDecision,
+    ResilientContextClient,
+    resilient_phi_cubic_factory,
+)
+from repro.phi.policy import REFERENCE_POLICY
+from repro.phi.server import ConnectionReport, ContextServer
+from repro.simnet import DumbbellConfig, DumbbellTopology, FlowSpec, Simulator
+from repro.transport.cubic import CubicParams
+from repro.transport.sink import TcpSink
+
+
+class FlakySource:
+    """A ContextSource whose availability is script-controlled."""
+
+    def __init__(self, context=None):
+        self.up = True
+        self.context = context or CongestionContext(
+            utilization=0.5, queue_delay_s=0.02, competing_senders=4.0
+        )
+        self.lookups = 0
+        self.reports = []
+
+    def lookup(self):
+        if not self.up:
+            raise RuntimeError("source down")
+        self.lookups += 1
+        return self.context
+
+    def report(self, report):
+        if not self.up:
+            raise RuntimeError("source down")
+        self.reports.append(report)
+
+
+def make_report(flow_id=1):
+    return ConnectionReport(
+        flow_id=flow_id,
+        reported_at=0.0,
+        bytes_transferred=1000,
+        duration_s=1.0,
+        mean_rtt_s=0.16,
+        min_rtt_s=0.15,
+        loss_indicator=0.0,
+    )
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestDecisions:
+    def test_fresh_on_success(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock)
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.FRESH
+        assert resolved.context is source.context
+        assert resolved.coordinated
+        assert client.decisions[ContextDecision.FRESH] == 1
+
+    def test_stale_within_ttl(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock, staleness_ttl_s=5.0)
+        client.resolve()           # cache at t=0
+        source.up = False
+        clock.t = 3.0
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.STALE
+        assert resolved.context is source.context
+        assert resolved.age_s == pytest.approx(3.0)
+        assert resolved.coordinated
+
+    def test_fallback_past_ttl(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock, staleness_ttl_s=5.0)
+        client.resolve()
+        source.up = False
+        clock.t = 6.0
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.FALLBACK
+        assert resolved.context is None
+        assert not resolved.coordinated
+
+    def test_fallback_with_cold_cache(self):
+        clock = Clock()
+        source = FlakySource()
+        source.up = False
+        client = ResilientContextClient(source, now=clock)
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.FALLBACK
+
+    def test_recovery_refreshes_cache(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock, staleness_ttl_s=5.0)
+        source.up = False
+        assert client.resolve().decision is ContextDecision.FALLBACK
+        source.up = True
+        assert client.resolve().decision is ContextDecision.FRESH
+        source.up = False
+        clock.t = 4.0
+        assert client.resolve().decision is ContextDecision.STALE
+        assert client.decision_counts() == {"fresh": 1, "stale": 1, "fallback": 1}
+
+    def test_lookup_parity_returns_idle_on_fallback(self):
+        clock = Clock()
+        clock.t = 7.0
+        source = FlakySource()
+        source.up = False
+        client = ResilientContextClient(source, now=clock)
+        ctx = client.lookup()
+        assert ctx.utilization == 0.0
+        assert ctx.timestamp == pytest.approx(7.0)
+
+    def test_validation(self):
+        source = FlakySource()
+        with pytest.raises(ValueError):
+            ResilientContextClient(source, now=Clock(), staleness_ttl_s=-1)
+        with pytest.raises(ValueError):
+            ResilientContextClient(source, now=Clock(), max_pending_reports=0)
+
+
+class TestReportRecovery:
+    def test_failed_reports_queue_and_flush(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock)
+        source.up = False
+        client.report(make_report(1))
+        client.report(make_report(2))
+        assert client.pending_reports == 2
+        assert client.reports_queued == 2
+        source.up = True
+        client.report(make_report(3))
+        assert client.pending_reports == 0
+        assert [r.flow_id for r in source.reports] == [1, 2, 3]
+        assert client.reports_flushed == 2
+        assert client.reports_sent == 3
+
+    def test_successful_lookup_flushes_backlog(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock)
+        source.up = False
+        client.report(make_report(1))
+        source.up = True
+        client.resolve()
+        assert client.pending_reports == 0
+        assert [r.flow_id for r in source.reports] == [1]
+
+    def test_bounded_queue_drops_oldest(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock, max_pending_reports=2)
+        source.up = False
+        for flow_id in (1, 2, 3):
+            client.report(make_report(flow_id))
+        assert client.pending_reports == 2
+        assert client.reports_dropped == 1
+        source.up = True
+        client.resolve()
+        assert [r.flow_id for r in source.reports] == [2, 3]
+
+    def test_report_stats_parity(self):
+        sim = Simulator()
+        server = ContextServer(sim, 15e6)
+        client = ResilientContextClient(server, now=lambda: sim.now)
+        from repro.transport.base import ConnectionStats
+
+        stats = ConnectionStats(flow_id=4)
+        stats.start_time = 0.0
+        stats.end_time = 1.0
+        stats.bytes_goodput = 100
+        stats.packets_sent = 1
+        client.report_stats(stats)
+        assert server.reports_received == 1
+
+
+class TestResilientFactory:
+    def _env(self):
+        sim = Simulator()
+        top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+        spec = FlowSpec(1, top.senders[0].name, 1, top.receivers[0].name, 443)
+        TcpSink(sim, top.receivers[0], spec)
+        return sim, top, spec
+
+    def test_fallback_uses_default_params(self):
+        sim, top, spec = self._env()
+        source = FlakySource()
+        source.up = False
+        client = ResilientContextClient(source, now=lambda: sim.now)
+        factory = resilient_phi_cubic_factory(
+            client, REFERENCE_POLICY, now=lambda: sim.now
+        )
+        sender = factory(sim, top.senders[0], spec, 50_000, lambda s: None)
+        assert sender.params == CubicParams.default()
+        assert client.decisions[ContextDecision.FALLBACK] == 1
+
+    def test_fresh_uses_policy_params(self):
+        sim, top, spec = self._env()
+        source = FlakySource()  # utilization 0.5 -> MODERATE
+        client = ResilientContextClient(source, now=lambda: sim.now)
+        factory = resilient_phi_cubic_factory(
+            client, REFERENCE_POLICY, now=lambda: sim.now
+        )
+        sender = factory(sim, top.senders[0], spec, 50_000, lambda s: None)
+        expected = REFERENCE_POLICY.params_for(source.context)
+        assert sender.params == expected
+
+    def test_completed_connection_reports_through_client(self):
+        sim, top, spec = self._env()
+        server = ContextServer(sim, top.config.bottleneck_bandwidth_bps)
+        channel = ControlChannel(sim, server, config=ChannelConfig(max_retries=0))
+        client = ResilientContextClient(channel, now=lambda: sim.now)
+        factory = resilient_phi_cubic_factory(
+            client, REFERENCE_POLICY, now=lambda: sim.now
+        )
+        done = []
+        sender = factory(sim, top.senders[0], spec, 30_000, done.append)
+        sender.start()
+        sim.run(until=30.0)
+        assert done
+        assert server.reports_received == 1
+        assert server.active_connections == 0

@@ -120,6 +120,69 @@ class TestContextServerProtocol:
         assert server.reports_received == 1
 
 
+class TestLeases:
+    """Regression tests for the lookup-without-report leak: a sender that
+    crashes (or whose report is lost) must not inflate ``n`` forever."""
+
+    def _server(self, **kwargs):
+        sim = Simulator()
+        return sim, ContextServer(sim, 15e6, **kwargs)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ContextServer(sim, 15e6, lease_ttl_s=0)
+
+    def test_orphaned_lookup_expires(self):
+        sim, server = self._server(lease_ttl_s=5.0)
+        server.lookup()  # never reports back
+        assert server.active_connections == 1
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert server.active_connections == 0
+        assert server.leases_expired == 1
+
+    def test_leak_is_bounded_under_sustained_orphans(self):
+        sim, server = self._server(lease_ttl_s=5.0)
+        # One orphaned lookup per second for a minute: without expiry n
+        # would reach 60; with leases it stays at the TTL's worth.
+        for t in range(60):
+            sim.schedule_at(float(t), server.lookup)
+        sim.run()
+        assert server.active_connections <= 6
+        assert server.leases_expired >= 54
+
+    def test_report_after_expiry_does_not_go_negative(self):
+        sim, server = self._server(lease_ttl_s=5.0)
+        server.lookup()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        server.report(make_report(10.0))
+        assert server.active_connections == 0
+        server.lookup()
+        assert server.active_connections == 1
+
+    def test_live_connections_keep_their_lease(self):
+        sim, server = self._server(lease_ttl_s=5.0)
+        sim.schedule_at(0.0, server.lookup)   # orphan
+        sim.schedule_at(4.0, server.lookup)   # young connection
+        sim.schedule_at(7.0, lambda: None)
+        sim.run()
+        # At t=7 the t=0 lease has expired; the t=4 one is still live.
+        assert server.active_connections == 1
+
+    def test_expiry_disabled_with_none(self):
+        sim, server = self._server(lease_ttl_s=None)
+        server.lookup()
+        sim.schedule(10_000.0, lambda: None)
+        sim.run()
+        assert server.active_connections == 1
+
+    def test_default_ttl_is_finite(self):
+        sim, server = self._server()
+        assert server.lease_ttl_s is not None
+
+
 class TestConnectionReport:
     def test_queue_delay(self):
         report = make_report(0.0, mean_rtt=0.2, min_rtt=0.15)

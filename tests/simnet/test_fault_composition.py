@@ -1,0 +1,262 @@
+"""Tests for the composable fault layer: stacking, ordering, teardown."""
+
+import numpy as np
+import pytest
+
+from repro.simnet import (
+    DelaySpike,
+    FaultInjector,
+    LinkFlap,
+    LinkOutage,
+    RandomLoss,
+    Simulator,
+    make_data_packet,
+)
+from repro.simnet.link import Link
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.packets = []
+
+    def receive(self, packet, link):
+        self.packets.append((self.sim.now, packet))
+
+
+def simple_link(sim, bw=8e6, delay=0.001):
+    link = Link(sim, "L", bw, delay)
+    dst = Collector(sim)
+    link.attach(dst)
+    return link, dst
+
+
+def send_at(sim, link, t, seq):
+    sim.schedule_at(t, lambda: link.send(make_data_packet(1, "a", "b", seq, 100)))
+
+
+class TestOverlappingFaults:
+    def test_outage_plus_random_loss(self):
+        """During the outage nothing is delivered (loss applies first in
+        install order, the outage eats the rest); loss keeps acting after
+        the outage ends (the old capture-the-hook scheme restored the
+        pristine deliver here, silently disabling the loss fault)."""
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        loss = RandomLoss(sim, link, 0.5, np.random.default_rng(0))
+        outage = LinkOutage(sim, link, start_s=1.0, duration_s=1.0)
+        mid: dict = {}
+        sim.schedule_at(
+            2.5,
+            lambda: mid.update(
+                dropped=loss.packets_dropped, passed=loss.packets_passed
+            ),
+        )
+        for i in range(10):
+            send_at(sim, link, 1.2 + i * 0.01, i)      # inside the outage
+        for i in range(10, 210):
+            send_at(sim, link, 3.0 + i * 0.01, i)      # after recovery
+        sim.run()
+        # All 10 outage-window packets met the loss fault; whatever it
+        # passed, the outage blackholed — nothing from the window arrives.
+        assert mid["dropped"] + mid["passed"] == 10
+        assert outage.packets_blackholed == mid["passed"]
+        assert all(p.seq >= 10 for _t, p in dst.packets)
+        # After recovery the loss fault is still in the path.
+        after_total = loss.packets_dropped + loss.packets_passed - 10
+        assert after_total == 200
+        assert len(dst.packets) == loss.packets_passed - outage.packets_blackholed
+
+    def test_loss_removed_while_outage_pending_keeps_outage(self):
+        """Removing the first-installed fault must not unhook a fault
+        installed after it (the non-LIFO teardown bug)."""
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        loss = RandomLoss(sim, link, 0.0, np.random.default_rng(0))
+        outage = LinkOutage(sim, link, start_s=1.0, duration_s=1.0)
+        sim.schedule_at(1.1, loss.remove)
+        send_at(sim, link, 1.5, 0)   # outage must still blackhole this
+        send_at(sim, link, 2.5, 1)   # delivered after the outage
+        sim.run()
+        assert outage.packets_blackholed == 1
+        assert [p.seq for _t, p in dst.packets] == [1]
+
+    def test_non_lifo_removal_restores_exact_delivery(self):
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        pristine = link._deliver
+        a = RandomLoss(sim, link, 0.0, np.random.default_rng(0))
+        b = RandomLoss(sim, link, 0.0, np.random.default_rng(1))
+        c = RandomLoss(sim, link, 0.0, np.random.default_rng(2))
+        a.remove()  # first-installed first: non-LIFO
+        c.remove()
+        b.remove()
+        assert link._deliver == pristine
+        for i in range(5):
+            link.send(make_data_packet(1, "a", "b", i, 100))
+        sim.run()
+        assert len(dst.packets) == 5
+        # None of the removed faults saw the post-teardown traffic.
+        assert a.packets_passed == b.packets_passed == c.packets_passed == 0
+
+    def test_remove_is_idempotent(self):
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        pristine = link._deliver
+        a = RandomLoss(sim, link, 0.0, np.random.default_rng(0))
+        b = RandomLoss(sim, link, 0.0, np.random.default_rng(1))
+        a.remove()
+        a.remove()
+        b.remove()
+        assert link._deliver == pristine
+
+    def test_middle_fault_still_counts_after_outer_removal(self):
+        """With three stacked loss faults, removing the outer two leaves
+        the middle one exactly in the path."""
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        a = RandomLoss(sim, link, 0.0, np.random.default_rng(0))
+        b = RandomLoss(sim, link, 0.0, np.random.default_rng(1))
+        c = RandomLoss(sim, link, 0.0, np.random.default_rng(2))
+        a.remove()
+        c.remove()
+        for i in range(7):
+            link.send(make_data_packet(1, "a", "b", i, 100))
+        sim.run()
+        assert b.packets_passed == 7
+        assert a.packets_passed == 0 and c.packets_passed == 0
+        assert len(dst.packets) == 7
+
+
+class TestBackToBackOutages:
+    def test_sequential_outages_and_full_recovery(self):
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        pristine = link._deliver
+        first = LinkOutage(sim, link, start_s=1.0, duration_s=1.0)
+        second = LinkOutage(sim, link, start_s=2.0, duration_s=1.0)
+        send_at(sim, link, 0.5, 0)
+        send_at(sim, link, 1.5, 1)
+        send_at(sim, link, 2.5, 2)
+        send_at(sim, link, 3.5, 3)
+        sim.run()
+        assert first.packets_blackholed == 1
+        assert second.packets_blackholed == 1
+        assert [p.seq for _t, p in dst.packets] == [0, 3]
+        assert link._deliver == pristine
+
+    def test_overlapping_outages(self):
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        pristine = link._deliver
+        first = LinkOutage(sim, link, start_s=1.0, duration_s=2.0)
+        second = LinkOutage(sim, link, start_s=2.0, duration_s=2.0)
+        send_at(sim, link, 2.5, 0)   # both active: first (older) counts it
+        send_at(sim, link, 3.5, 1)   # only the second remains
+        send_at(sim, link, 4.5, 2)   # both ended
+        sim.run()
+        assert first.packets_blackholed == 1
+        assert second.packets_blackholed == 1
+        assert [p.seq for _t, p in dst.packets] == [2]
+        assert link._deliver == pristine
+
+
+class TestLinkFlap:
+    def test_down_windows_blackhole_up_windows_deliver(self):
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        flap = LinkFlap(sim, link, start_s=1.0, down_s=0.5, up_s=0.5, cycles=2)
+        # Windows: down [1.0,1.5), up [1.5,2.0), down [2.0,2.5), up after.
+        send_at(sim, link, 1.2, 0)
+        send_at(sim, link, 1.7, 1)
+        send_at(sim, link, 2.2, 2)
+        send_at(sim, link, 2.7, 3)
+        sim.run()
+        assert flap.packets_blackholed == 2
+        assert flap.transitions == 4
+        assert not flap.down
+        assert [p.seq for _t, p in dst.packets] == [1, 3]
+
+    def test_end_time_and_validation(self):
+        sim = Simulator()
+        link, _ = simple_link(sim)
+        flap = LinkFlap(sim, link, start_s=1.0, down_s=0.5, up_s=0.25, cycles=4)
+        assert flap.end_s == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            LinkFlap(sim, link, start_s=1.0, down_s=0.0, up_s=0.5)
+        with pytest.raises(ValueError):
+            LinkFlap(sim, link, start_s=1.0, down_s=0.5, up_s=0.5, cycles=0)
+
+
+class TestDelaySpike:
+    def test_delays_only_inside_window(self):
+        sim = Simulator()
+        link, dst = simple_link(sim, bw=8e8, delay=0.001)
+        spike = DelaySpike(sim, link, start_s=1.0, duration_s=1.0, extra_delay_s=0.2)
+        send_at(sim, link, 0.5, 0)
+        send_at(sim, link, 1.5, 1)
+        send_at(sim, link, 2.5, 2)
+        sim.run()
+        times = {p.seq: t for t, p in dst.packets}
+        ser = 100 * 8.0 / 8e8
+        assert times[0] == pytest.approx(0.5 + ser + 0.001, abs=1e-6)
+        assert times[1] == pytest.approx(1.5 + ser + 0.001 + 0.2, abs=1e-6)
+        assert times[2] == pytest.approx(2.5 + ser + 0.001, abs=1e-6)
+        assert spike.packets_delayed == 1
+
+    def test_delayed_packet_meets_later_outage(self):
+        """A packet parked by the spike resumes into an outage that began
+        meanwhile and is lost, like the real world would lose it."""
+        sim = Simulator()
+        link, dst = simple_link(sim, bw=8e8, delay=0.001)
+        DelaySpike(sim, link, start_s=1.0, duration_s=0.5, extra_delay_s=0.5)
+        outage = LinkOutage(sim, link, start_s=1.3, duration_s=1.0)
+        send_at(sim, link, 1.1, 0)  # resumes ~1.6, inside the outage
+        sim.run()
+        assert outage.packets_blackholed == 1
+        assert dst.packets == []
+
+    def test_validation(self):
+        sim = Simulator()
+        link, _ = simple_link(sim)
+        with pytest.raises(ValueError):
+            DelaySpike(sim, link, start_s=0.5, duration_s=0.0, extra_delay_s=0.1)
+        with pytest.raises(ValueError):
+            DelaySpike(sim, link, start_s=0.5, duration_s=1.0, extra_delay_s=0.0)
+
+
+class TestFaultInjector:
+    def test_builds_and_tracks_faults(self):
+        sim = Simulator()
+        link, dst = simple_link(sim)
+        injector = FaultInjector(sim)
+        outage = injector.link_outage(link, 1.0, 1.0)
+        loss = injector.random_loss(link, 0.1, np.random.default_rng(0))
+        flap = injector.link_flap(link, 3.0, 0.5, 0.5, cycles=1)
+        spike = injector.delay_spike(link, 5.0, 1.0, 0.05)
+        assert injector.faults == [outage, loss, flap, spike]
+        assert injector.active_faults() == [loss]
+        sim.run(until=1.5)
+        assert set(injector.active_faults()) == {outage, loss}
+        sim.run(until=10.0)
+        assert injector.active_faults() == [loss]
+
+    def test_server_outage_registration(self):
+        class Target:
+            def __init__(self):
+                self.down = 0
+
+            def mark_down(self):
+                self.down += 1
+
+            def mark_up(self):
+                self.down -= 1
+
+        sim = Simulator()
+        target = Target()
+        injector = FaultInjector(sim)
+        fault = injector.server_outage(target, 1.0, 2.0)
+        sim.run(until=1.5)
+        assert target.down == 1 and fault.active
+        sim.run(until=4.0)
+        assert target.down == 0 and not fault.active
