@@ -7,12 +7,14 @@ without writing Python:
 - ``repro-phi cubic`` — run fixed-parameter Cubic on a preset;
 - ``repro-phi phi`` — run Phi-coordinated Cubic (practical or ideal);
 - ``repro-phi incremental`` — the Figure-4 partial deployment;
+- ``repro-phi sweep`` — the Table-2 grid sweep via the parallel runner;
 - ``repro-phi ipfix`` — the Section-2.1 sharing analysis;
 - ``repro-phi diagnose`` — the Figure-5 outage detection pipeline.
 
-Example::
+Examples::
 
     python -m repro.cli phi --preset table3-remy --mode practical --seed 3
+    python -m repro.cli sweep --runs 2 --workers 4 --bench-json BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -30,7 +32,13 @@ from .diagnosis import (
     UnreachabilityDetector,
     localize,
 )
-from .experiments import ALL_PRESETS, run_cubic_fixed, run_incremental_deployment, run_phi_cubic
+from .experiments import (
+    ALL_PRESETS,
+    run_cubic_fixed,
+    run_incremental_deployment,
+    run_parameter_sweep,
+    run_phi_cubic,
+)
 from .ipfix import (
     EgressTrafficModel,
     IpfixCollector,
@@ -39,7 +47,10 @@ from .ipfix import (
     sharing_stats,
 )
 from .phi import REFERENCE_POLICY, SharingMode
+from .phi.optimizer import select_optimal
+from .runner import ConsoleProgress, append_bench_entry, bench_entry
 from .transport import CubicParams
+from .transport.cubic import cubic_sweep_grid
 
 PRESETS = {preset.name: preset for preset in ALL_PRESETS}
 
@@ -117,6 +128,90 @@ def cmd_incremental(args: argparse.Namespace) -> int:
         print(f"  {label:<12s} thr={metrics.throughput_mbps:6.2f} Mbps  "
               f"delay={metrics.queueing_delay_ms:7.1f} ms  "
               f"P_l={metrics.power_l:8.4f}")
+    return 0
+
+
+def _float_list(text: str) -> List[float]:
+    try:
+        values = [float(item) for item in text.split(",") if item.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated float list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("need at least one value")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    preset = _preset_or_exit(args.preset)
+    if args.ssthresh_range or args.window_range or args.beta_range:
+        grid = list(
+            cubic_sweep_grid(
+                ssthresh_range=args.ssthresh_range,
+                window_init_range=args.window_range,
+                beta_range=args.beta_range,
+            )
+        )
+    else:
+        grid = list(cubic_sweep_grid())
+
+    progress = None if args.quiet else ConsoleProgress()
+    common = dict(
+        n_runs=args.runs,
+        base_seed=args.seed,
+        duration_s=args.duration,
+        cache_dir=args.cache_dir,
+    )
+    parallel_outcome = run_parameter_sweep(
+        preset, grid, n_workers=args.workers, progress=progress, **common
+    )
+    serial_outcome = None
+    if args.serial_check:
+        # The check pass must recompute every point; reading the parallel
+        # pass's cache back would compare the cache against itself.
+        serial_outcome = run_parameter_sweep(
+            preset, grid, parallel=False, **{**common, "cache_dir": None}
+        )
+        mismatched = sum(
+            1
+            for a, b in zip(serial_outcome.points, parallel_outcome.points)
+            if not a.identical_to(b)
+        )
+        if mismatched:
+            print(f"DETERMINISM VIOLATION: {mismatched} point(s) differ "
+                  f"between serial and parallel sweeps", file=sys.stderr)
+            return 1
+        print(f"serial check: all {len(grid)} x {args.runs} points bit-identical")
+        print(f"serial   {serial_outcome.wall_seconds:8.2f}s "
+              f"({serial_outcome.events_per_second:,.0f} events/s)")
+    speedup = (
+        serial_outcome.wall_seconds / parallel_outcome.wall_seconds
+        if serial_outcome is not None and parallel_outcome.wall_seconds > 0
+        else None
+    )
+    print(f"parallel {parallel_outcome.wall_seconds:8.2f}s "
+          f"({parallel_outcome.events_per_second:,.0f} events/s, "
+          f"workers={parallel_outcome.workers}, "
+          f"cache hits={parallel_outcome.cache_hits})"
+          + (f"  speedup={speedup:.2f}x" if speedup is not None else ""))
+
+    best = select_optimal(parallel_outcome.to_sweep_results())
+    p = best.params
+    print(f"best point: wI={p.window_init:.0f} ssthr={p.initial_ssthresh:.0f} "
+          f"beta={p.beta}  P_l={best.mean_power_l:.4f}")
+
+    if args.bench_json:
+        entry = bench_entry(
+            f"cli-sweep-{preset.name}",
+            serial=serial_outcome,
+            parallel=parallel_outcome,
+            extra={
+                "grid_points": len(grid),
+                "n_runs": args.runs,
+                "duration_s": args.duration,
+            },
+        )
+        append_bench_entry(args.bench_json, entry)
+        print(f"recorded trajectory entry in {args.bench_json}")
     return 0
 
 
@@ -200,6 +295,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     incremental.add_argument("--fraction", type=float, default=0.5)
     incremental.set_defaults(func=cmd_incremental)
+
+    sweep = sub.add_parser("sweep", help="Table-2 grid sweep via repro.runner")
+    sweep.add_argument("--preset", default="table3-remy")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--runs", type=int, default=8,
+                       help="runs per grid point (paper uses 8)")
+    sweep.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds per run (default: preset duration)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: usable CPU count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist per-point results under this directory")
+    sweep.add_argument("--ssthresh-range", type=_float_list, default=None,
+                       help="comma-separated initial_ssthresh values")
+    sweep.add_argument("--window-range", type=_float_list, default=None,
+                       help="comma-separated windowInit_ values")
+    sweep.add_argument("--beta-range", type=_float_list, default=None,
+                       help="comma-separated beta values")
+    sweep.add_argument("--serial-check", action="store_true",
+                       help="also run serially; verify bit-identical results")
+    sweep.add_argument("--bench-json", default=None,
+                       help="append timings to this BENCH trajectory file")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the progress line")
+    sweep.set_defaults(func=cmd_sweep)
 
     ipfix = sub.add_parser("ipfix", help="Section-2.1 sharing analysis")
     ipfix.add_argument("--minutes", type=int, default=3)

@@ -29,6 +29,7 @@ from .scenarios import (
     run_incremental_deployment,
     run_phi_cubic,
 )
+from .sweep import run_parameter_sweep, run_table2_sweep
 from .table3 import (
     Table3Result,
     Table3Row,
@@ -63,8 +64,10 @@ __all__ = [
     "run_incremental_deployment",
     "run_long_running_scenario",
     "run_onoff_scenario",
+    "run_parameter_sweep",
     "run_phi_cubic",
     "run_remy_scenario",
+    "run_table2_sweep",
     "run_table3",
     "train_tables",
     "uniform_slots",

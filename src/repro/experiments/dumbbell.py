@@ -70,6 +70,7 @@ class ScenarioResult:
     mean_utilization: float
     duration_s: float
     connections: int
+    events_processed: int = 0
 
     def sender_metrics(self, indices: Sequence[int]) -> RunMetrics:
         """Metrics restricted to a subset of sender slots (Figure 4)."""
@@ -194,6 +195,7 @@ def _summarize(
         mean_utilization=utilization,
         duration_s=duration_s,
         connections=len(all_stats),
+        events_processed=env.sim.events_processed,
     )
 
 

@@ -1,0 +1,45 @@
+"""repro.runner — the multiprocess experiment-sweep engine.
+
+Fans parameter grids / scenario lists out over a worker pool with
+content-hash result caching, progress reporting, and a deterministic
+merge that makes parallel sweeps bit-identical to serial ones.  See
+DESIGN.md ("Sweep runner") for the architecture.
+"""
+
+from .bench import append_bench_entry, bench_entry, machine_fingerprint
+from .cache import CacheStats, DiskCache, MemoryCache, NullCache
+from .core import (
+    SweepOutcome,
+    SweepPoint,
+    SweepRunner,
+    SweepSpec,
+    evaluate_point,
+)
+from .hashing import ENGINE_SIGNATURE, canonical_json, content_hash, point_key
+from .progress import ConsoleProgress, ProgressReporter, SweepProgress
+from .records import FlowRecord, PointResult, flow_records
+
+__all__ = [
+    "ENGINE_SIGNATURE",
+    "CacheStats",
+    "ConsoleProgress",
+    "DiskCache",
+    "FlowRecord",
+    "MemoryCache",
+    "NullCache",
+    "PointResult",
+    "ProgressReporter",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepProgress",
+    "SweepRunner",
+    "SweepSpec",
+    "append_bench_entry",
+    "bench_entry",
+    "canonical_json",
+    "content_hash",
+    "evaluate_point",
+    "flow_records",
+    "machine_fingerprint",
+    "point_key",
+]

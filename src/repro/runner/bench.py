@@ -1,0 +1,91 @@
+"""Benchmark trajectory files.
+
+Each sweep benchmark appends one entry to a JSON trajectory file
+(``BENCH_sweep.json`` by convention) so the repo accumulates a
+wall-clock history across commits: serial vs parallel timings, events
+per second, speedup, and the hardware it ran on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Optional
+
+from .core import SweepOutcome
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """The hardware/runtime facts a timing is meaningless without."""
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        usable_cpus = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cpus": usable_cpus,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def bench_entry(
+    label: str,
+    *,
+    serial: Optional[SweepOutcome] = None,
+    parallel: Optional[SweepOutcome] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one trajectory entry from sweep outcomes."""
+    entry: Dict[str, Any] = {
+        "label": label,
+        "timestamp": time.time(),
+        "machine": machine_fingerprint(),
+    }
+    if serial is not None:
+        entry["serial"] = {
+            "wall_seconds": serial.wall_seconds,
+            "points": len(serial.points),
+            "events": serial.total_events,
+            "events_per_second": serial.events_per_second,
+            "cache_hits": serial.cache_hits,
+        }
+    if parallel is not None:
+        entry["parallel"] = {
+            "wall_seconds": parallel.wall_seconds,
+            "points": len(parallel.points),
+            "events": parallel.total_events,
+            "events_per_second": parallel.events_per_second,
+            "workers": parallel.workers,
+            "cache_hits": parallel.cache_hits,
+        }
+    if serial is not None and parallel is not None and parallel.wall_seconds > 0:
+        entry["speedup"] = serial.wall_seconds / parallel.wall_seconds
+    if extra:
+        entry.update(extra)
+    return entry
+
+
+def append_bench_entry(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Append ``entry`` to the trajectory file at ``path``; returns it all.
+
+    The file holds a JSON list; a missing or corrupt file starts fresh
+    rather than failing the benchmark that is trying to record history.
+    """
+    trajectory: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, list):
+            trajectory = existing
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    trajectory.append(entry)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return trajectory

@@ -1,0 +1,115 @@
+"""Per-point result caches for the sweep runner.
+
+A cache maps a content hash (see :mod:`repro.runner.hashing`) to a
+:class:`~repro.runner.records.PointResult`.  Because the key covers the
+engine signature along with params, topology, workload, duration, and
+seed, a hit is always safe to reuse — a re-run of an already-swept grid
+costs nothing, and widening a sweep only pays for the new points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from .records import PointResult
+
+
+class CacheStats:
+    """Hit/miss counters shared by all cache backends."""
+
+    __slots__ = ("hits", "misses", "writes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+
+class MemoryCache:
+    """In-process dictionary cache (the default)."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, PointResult] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: str) -> Optional[PointResult]:
+        result = self._store.get(key)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def put(self, result: PointResult) -> None:
+        self._store[result.key] = result
+        self.stats.writes += 1
+
+
+class DiskCache:
+    """One JSON file per point under ``directory``.
+
+    Writes are atomic (temp file + rename) so a crashed or interrupted
+    sweep never leaves a torn cache entry behind.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
+
+    def get(self, key: str) -> Optional[PointResult]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return PointResult.from_dict(data)
+
+    def put(self, result: PointResult) -> None:
+        path = self._path(result.key)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.writes += 1
+
+
+class NullCache:
+    """A cache that remembers nothing (for benchmarking cold paths)."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return 0
+
+    def get(self, key: str) -> Optional[PointResult]:
+        self.stats.misses += 1
+        return None
+
+    def put(self, result: PointResult) -> None:
+        pass

@@ -1,0 +1,304 @@
+"""The multiprocess experiment-sweep engine.
+
+``SweepRunner`` fans a grid of :class:`CubicParams` points (each run
+``n_runs`` times) out over a worker pool, with per-point result caching
+keyed by content hash and a deterministic merge: results come back in
+grid × run order no matter which worker finished first, and every
+point's randomness derives solely from its own seed (each simulation
+builds its own :class:`~repro.simnet.random.RngStreams` from
+``base_seed + run_index``), so the parallel sweep is bit-identical to
+the serial one.
+
+Workers are plain processes running :func:`evaluate_point`; everything
+that crosses the process boundary (tasks in, :class:`PointResult` out)
+is a picklable frozen dataclass.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..phi.optimizer import SweepResult
+from ..transport.cubic import CubicParams
+from .cache import MemoryCache
+from .hashing import point_key
+from .progress import ProgressReporter, SweepProgress
+from .records import PointResult, flow_records
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard: experiments imports us
+    from ..experiments.scenarios import ScenarioPreset
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """What stays fixed across the whole sweep: scenario and duration."""
+
+    preset: "ScenarioPreset"
+    duration_s: Optional[float] = None
+
+    @property
+    def effective_duration_s(self) -> float:
+        return (
+            self.duration_s if self.duration_s is not None else self.preset.duration_s
+        )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of work: a grid point evaluated under one seed."""
+
+    params: CubicParams
+    run_index: int
+    seed: int
+
+    def key(self, spec: SweepSpec) -> str:
+        return point_key(
+            self.params,
+            spec.preset.config,
+            spec.preset.workload,
+            spec.effective_duration_s,
+            self.seed,
+        )
+
+
+def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
+    """Run one grid point under one seed; the worker-side entry point.
+
+    Must stay a module-level function so worker processes can unpickle
+    it.  All randomness comes from the simulation's own seeded streams,
+    so the result is a pure function of ``(spec, point)``.
+    """
+    # Imported here, not at module top: repro.experiments imports this
+    # module (experiments.sweep drives the runner), so the scenario
+    # machinery has to bind lazily to keep the import graph acyclic.
+    from ..experiments.scenarios import run_cubic_fixed
+
+    started = time.perf_counter()
+    result = run_cubic_fixed(
+        point.params, spec.preset, seed=point.seed, duration_s=spec.duration_s
+    )
+    wall = time.perf_counter() - started
+    return PointResult(
+        key=point.key(spec),
+        params=point.params,
+        seed=point.seed,
+        run_index=point.run_index,
+        metrics=result.metrics,
+        flows=flow_records(result.per_sender_stats),
+        bottleneck_drop_rate=result.bottleneck_drop_rate,
+        mean_utilization=result.mean_utilization,
+        duration_s=spec.effective_duration_s,
+        events_processed=result.events_processed,
+        wall_seconds=wall,
+    )
+
+
+@dataclass
+class SweepOutcome:
+    """A completed sweep: per-point results in deterministic order."""
+
+    spec: SweepSpec
+    points: List[PointResult]
+    n_runs: int
+    base_seed: int
+    wall_seconds: float
+    workers: int
+    cache_hits: int
+
+    @property
+    def total_events(self) -> int:
+        return sum(point.events_processed for point in self.points)
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_events / self.wall_seconds
+
+    def to_sweep_results(self) -> List[SweepResult]:
+        """Reshape into the optimizer's per-grid-point runs structure.
+
+        Output order matches the grid order the sweep was launched with,
+        and each point's runs are in run-index order, so
+        :func:`repro.phi.optimizer.select_optimal` and
+        :func:`~repro.phi.optimizer.leave_one_out` apply unchanged.
+        """
+        grouped: Dict[CubicParams, SweepResult] = {}
+        ordered: List[SweepResult] = []
+        for point in self.points:
+            result = grouped.get(point.params)
+            if result is None:
+                result = SweepResult(params=point.params)
+                grouped[point.params] = result
+                ordered.append(result)
+            result.runs.append(point.metrics)
+        return ordered
+
+
+def _default_workers() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork avoids re-importing the package per worker; fall back to the
+    # platform default where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class SweepRunner:
+    """Sweep a parameter grid through the simulator, in parallel.
+
+    Parameters
+    ----------
+    preset:
+        The scenario every point runs under (topology + workload).
+    duration_s:
+        Override of the preset's simulated duration (None keeps it).
+    n_workers:
+        Worker processes; defaults to the usable CPU count.  ``1``
+        evaluates inline without a pool.
+    cache:
+        A cache backend (``MemoryCache`` by default; pass a
+        :class:`~repro.runner.cache.DiskCache` to persist across runs, or
+        ``NullCache`` to disable).
+    progress:
+        Optional callable receiving :class:`SweepProgress` snapshots.
+    """
+
+    def __init__(
+        self,
+        preset: ScenarioPreset,
+        *,
+        duration_s: Optional[float] = None,
+        n_workers: Optional[int] = None,
+        cache=None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.spec = SweepSpec(preset=preset, duration_s=duration_s)
+        self.n_workers = n_workers if n_workers is not None else _default_workers()
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        self.cache = cache if cache is not None else MemoryCache()
+        self.progress = progress
+
+    def tasks(
+        self,
+        grid: Sequence[CubicParams],
+        n_runs: int,
+        base_seed: int,
+    ) -> List[SweepPoint]:
+        """The work list in deterministic (grid × run) order.
+
+        Seeds follow the serial evaluator's convention: run ``i`` of every
+        grid point shares ``base_seed + i`` so leave-one-out comparisons
+        see identical workloads across parameter settings.
+        """
+        if n_runs < 1:
+            raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+        return [
+            SweepPoint(params=params, run_index=run, seed=base_seed + run)
+            for params in grid
+            for run in range(n_runs)
+        ]
+
+    def run(
+        self,
+        grid: Iterable[CubicParams],
+        n_runs: int = 1,
+        base_seed: int = 0,
+        parallel: bool = True,
+    ) -> SweepOutcome:
+        """Evaluate the whole grid; returns results in launch order."""
+        grid = list(grid)
+        tasks = self.tasks(grid, n_runs, base_seed)
+        started = time.perf_counter()
+
+        results: List[Optional[PointResult]] = [None] * len(tasks)
+        pending: List[Tuple[int, SweepPoint]] = []
+        cache_hits = 0
+        for index, task in enumerate(tasks):
+            cached = self.cache.get(task.key(self.spec))
+            if cached is not None:
+                results[index] = cached
+                cache_hits += 1
+            else:
+                pending.append((index, task))
+
+        progress_state = SweepProgress(
+            total=len(tasks),
+            completed=cache_hits,
+            cached=cache_hits,
+            started_at=started,
+        )
+        self._report(progress_state)
+
+        use_pool = parallel and self.n_workers > 1 and len(pending) > 1
+        if use_pool:
+            self._run_pool(pending, results, progress_state)
+        else:
+            for index, task in pending:
+                result = evaluate_point(self.spec, task)
+                self.cache.put(result)
+                results[index] = result
+                progress_state.completed += 1
+                self._report(progress_state)
+
+        wall = time.perf_counter() - started
+        merged = [result for result in results if result is not None]
+        if len(merged) != len(tasks):  # pragma: no cover - defensive
+            raise RuntimeError("sweep lost results during merge")
+        return SweepOutcome(
+            spec=self.spec,
+            points=merged,
+            n_runs=n_runs,
+            base_seed=base_seed,
+            wall_seconds=wall,
+            workers=self.n_workers if use_pool else 1,
+            cache_hits=cache_hits,
+        )
+
+    def run_serial(
+        self,
+        grid: Iterable[CubicParams],
+        n_runs: int = 1,
+        base_seed: int = 0,
+    ) -> SweepOutcome:
+        """The single-process baseline (same code path, no pool)."""
+        return self.run(grid, n_runs=n_runs, base_seed=base_seed, parallel=False)
+
+    def _run_pool(
+        self,
+        pending: Sequence[Tuple[int, SweepPoint]],
+        results: List[Optional[PointResult]],
+        progress_state: SweepProgress,
+    ) -> None:
+        workers = min(self.n_workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(evaluate_point, self.spec, task): index
+                for index, task in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    self.cache.put(result)
+                    results[futures[future]] = result
+                    progress_state.completed += 1
+                    self._report(progress_state)
+
+    def _report(self, progress_state: SweepProgress) -> None:
+        if self.progress is not None:
+            self.progress(progress_state)

@@ -1,0 +1,68 @@
+"""Content hashing for sweep-point results.
+
+A point's cache key covers everything that determines its outcome: the
+Cubic parameters, the topology, the workload, the simulated duration,
+the seed, and an engine signature that is bumped whenever the simulation
+semantics change (so stale caches can never leak results from an older
+physics).  Keys are hex SHA-256 over a canonical JSON encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Optional
+
+from ..simnet.topology import DumbbellConfig
+from ..transport.cubic import CubicParams
+from ..workload.onoff import OnOffConfig
+
+#: Bump on any change that alters simulation trajectories (event ordering,
+#: queue accounting, transport behaviour, workload draws ...).
+ENGINE_SIGNATURE = "phi-simnet-v2-tuple-heap"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact float repr."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _plain(value: Any) -> Any:
+    """Reduce configs/dataclasses to canonical JSON-friendly structures."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _plain(v) for k, v in sorted(asdict(value).items())}
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
+
+
+def content_hash(payload: Any) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``payload``."""
+    encoded = canonical_json(_plain(payload)).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def point_key(
+    params: CubicParams,
+    config: DumbbellConfig,
+    workload: Optional[OnOffConfig],
+    duration_s: float,
+    seed: int,
+    engine_signature: str = ENGINE_SIGNATURE,
+) -> str:
+    """The cache key of one (grid point, run) evaluation."""
+    return content_hash(
+        {
+            "engine": engine_signature,
+            "params": params,
+            "topology": config,
+            "workload": workload,
+            "duration_s": float(duration_s),
+            "seed": int(seed),
+        }
+    )

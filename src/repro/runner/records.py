@@ -1,0 +1,188 @@
+"""Serializable result records for the sweep runner.
+
+Workers hand results back across process boundaries and into the on-disk
+cache, so everything here is a plain frozen dataclass with exact
+JSON round-trips: floats serialize via ``repr`` (Python's ``json`` does
+this natively) and deserialize to bit-identical values, which is what
+lets the determinism tests compare serial and parallel runs with ``==``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..metrics.summary import RunMetrics
+from ..transport.base import ConnectionStats
+from ..transport.cubic import CubicParams
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A per-connection outcome, frozen for hashing and comparison.
+
+    This is :class:`~repro.transport.base.ConnectionStats` with the
+    mutable list of RTT samples pinned down as a tuple, so two runs can
+    be compared field-for-field (bit-identical floats included).
+    """
+
+    flow_id: int
+    start_time: float
+    end_time: float
+    bytes_goodput: int
+    bytes_sent: int
+    packets_sent: int
+    retransmits: int
+    timeouts: int
+    fast_retransmits: int
+    rtt_samples: Tuple[float, ...]
+    min_rtt: float
+    completed: bool
+
+    @classmethod
+    def from_stats(cls, stats: ConnectionStats) -> "FlowRecord":
+        """Freeze one connection's stats."""
+        return cls(
+            flow_id=stats.flow_id,
+            start_time=stats.start_time,
+            end_time=stats.end_time,
+            bytes_goodput=stats.bytes_goodput,
+            bytes_sent=stats.bytes_sent,
+            packets_sent=stats.packets_sent,
+            retransmits=stats.retransmits,
+            timeouts=stats.timeouts,
+            fast_retransmits=stats.fast_retransmits,
+            rtt_samples=tuple(stats.rtt_samples),
+            min_rtt=stats.min_rtt,
+            completed=stats.completed,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "flow_id": self.flow_id,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "bytes_goodput": self.bytes_goodput,
+            "bytes_sent": self.bytes_sent,
+            "packets_sent": self.packets_sent,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+            "fast_retransmits": self.fast_retransmits,
+            "rtt_samples": list(self.rtt_samples),
+            "min_rtt": self.min_rtt,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlowRecord":
+        return cls(
+            flow_id=int(data["flow_id"]),
+            start_time=float(data["start_time"]),
+            end_time=float(data["end_time"]),
+            bytes_goodput=int(data["bytes_goodput"]),
+            bytes_sent=int(data["bytes_sent"]),
+            packets_sent=int(data["packets_sent"]),
+            retransmits=int(data["retransmits"]),
+            timeouts=int(data["timeouts"]),
+            fast_retransmits=int(data["fast_retransmits"]),
+            rtt_samples=tuple(float(x) for x in data["rtt_samples"]),
+            min_rtt=float(data["min_rtt"]),
+            completed=bool(data["completed"]),
+        )
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Everything one (grid point, run) evaluation produced.
+
+    ``key`` is the content hash of (params, topology, workload, duration,
+    seed, engine version) — see :mod:`repro.runner.hashing` — which makes
+    it the cache key and the join key for deterministic merges.
+    """
+
+    key: str
+    params: CubicParams
+    seed: int
+    run_index: int
+    metrics: RunMetrics
+    flows: Tuple[FlowRecord, ...]
+    bottleneck_drop_rate: float
+    mean_utilization: float
+    duration_s: float
+    events_processed: int
+    wall_seconds: float
+
+    def identical_to(self, other: "PointResult") -> bool:
+        """Bit-identical simulation outcome (wall time excluded).
+
+        Wall-clock is the only field allowed to differ between a serial
+        and a parallel evaluation of the same point.
+        """
+        return (
+            self.key == other.key
+            and self.params == other.params
+            and self.seed == other.seed
+            and self.run_index == other.run_index
+            and self.metrics == other.metrics
+            and self.flows == other.flows
+            and self.bottleneck_drop_rate == other.bottleneck_drop_rate
+            and self.mean_utilization == other.mean_utilization
+            and self.events_processed == other.events_processed
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "params": self.params.as_dict(),
+            "seed": self.seed,
+            "run_index": self.run_index,
+            "metrics": {
+                "throughput_mbps": self.metrics.throughput_mbps,
+                "queueing_delay_ms": self.metrics.queueing_delay_ms,
+                "loss_rate": self.metrics.loss_rate,
+                "connections": self.metrics.connections,
+                "total_bytes": self.metrics.total_bytes,
+                "mean_rtt_ms": self.metrics.mean_rtt_ms,
+                "mean_utilization": self.metrics.mean_utilization,
+            },
+            "flows": [flow.to_dict() for flow in self.flows],
+            "bottleneck_drop_rate": self.bottleneck_drop_rate,
+            "mean_utilization": self.mean_utilization,
+            "duration_s": self.duration_s,
+            "events_processed": self.events_processed,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PointResult":
+        metrics = data["metrics"]
+        return cls(
+            key=str(data["key"]),
+            params=CubicParams(**data["params"]),
+            seed=int(data["seed"]),
+            run_index=int(data["run_index"]),
+            metrics=RunMetrics(
+                throughput_mbps=float(metrics["throughput_mbps"]),
+                queueing_delay_ms=float(metrics["queueing_delay_ms"]),
+                loss_rate=float(metrics["loss_rate"]),
+                connections=int(metrics["connections"]),
+                total_bytes=int(metrics["total_bytes"]),
+                mean_rtt_ms=float(metrics["mean_rtt_ms"]),
+                mean_utilization=float(metrics["mean_utilization"]),
+            ),
+            flows=tuple(FlowRecord.from_dict(f) for f in data["flows"]),
+            bottleneck_drop_rate=float(data["bottleneck_drop_rate"]),
+            mean_utilization=float(data["mean_utilization"]),
+            duration_s=float(data["duration_s"]),
+            events_processed=int(data["events_processed"]),
+            wall_seconds=float(data["wall_seconds"]),
+        )
+
+
+def flow_records(per_sender_stats: List[List[ConnectionStats]]) -> Tuple[FlowRecord, ...]:
+    """Flatten a scenario's per-sender stats into frozen flow records."""
+    return tuple(
+        FlowRecord.from_stats(stats)
+        for sender in per_sender_stats
+        for stats in sender
+    )

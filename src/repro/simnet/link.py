@@ -61,6 +61,11 @@ class Link:
         self._busy_seconds = 0.0
         self._tx_started_at = 0.0
         self.created_at = sim.now
+        # Hot-path bindings: serialization happens once per packet per
+        # link, so precompute the per-byte wire time and skip the method
+        # lookup for the scheduler.
+        self._seconds_per_byte = 8.0 / bandwidth_bps
+        self._schedule = sim.schedule
 
     def attach(self, dst_node: "Node") -> None:
         """Set the node that receives packets at the far end."""
@@ -68,7 +73,7 @@ class Link:
 
     def serialization_delay(self, packet: Packet) -> float:
         """Time to clock ``packet`` onto the wire at this link's bandwidth."""
-        return packet.size_bytes * 8.0 / self.bandwidth_bps
+        return packet.size_bytes * self._seconds_per_byte
 
     def send(self, packet: Packet) -> None:
         """Offer ``packet`` to the link.
@@ -84,14 +89,14 @@ class Link:
     def _transmit(self, packet: Packet) -> None:
         self._busy = True
         self._tx_started_at = self.sim.now
-        tx_time = self.serialization_delay(packet)
-        self.sim.schedule(tx_time, self._transmit_done, packet)
+        tx_time = packet.size_bytes * self._seconds_per_byte
+        self._schedule(tx_time, self._transmit_done, packet)
 
     def _transmit_done(self, packet: Packet) -> None:
         self.bytes_transmitted += packet.size_bytes
         self.packets_transmitted += 1
         self._busy_seconds += self.sim.now - self._tx_started_at
-        self.sim.schedule(self.delay_s, self._deliver, packet)
+        self._schedule(self.delay_s, self._deliver, packet)
         next_packet = self.queue.dequeue()
         if next_packet is not None:
             self._transmit(next_packet)

@@ -7,13 +7,21 @@ for the Section 3.3 prioritization experiments.
 
 All queues account occupancy both in packets and in bytes and keep a
 time-weighted occupancy integral so monitors can report average queue
-depth without sampling artifacts.
+depth without sampling artifacts.  Every packet that enters a queue
+leaves through exactly one of three doors — dequeue, drop, or flush —
+so the conservation law
+
+    ``enqueued == dequeued + flushed + still-queued``
+
+holds at all times (see :meth:`DropTailQueue.assert_conservation`).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from itertools import count
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .packet import Packet
 
@@ -28,6 +36,8 @@ class QueueStats:
         "dequeued_bytes",
         "dropped_packets",
         "dropped_bytes",
+        "flushed_packets",
+        "flushed_bytes",
         "occupancy_byte_seconds",
         "occupancy_packet_seconds",
         "last_change_time",
@@ -35,16 +45,21 @@ class QueueStats:
         "peak_bytes",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, created_at: float = 0.0) -> None:
         self.enqueued_packets = 0
         self.enqueued_bytes = 0
         self.dequeued_packets = 0
         self.dequeued_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self.flushed_packets = 0
+        self.flushed_bytes = 0
         self.occupancy_byte_seconds = 0.0
         self.occupancy_packet_seconds = 0.0
-        self.last_change_time = 0.0
+        # A queue created mid-simulation must not integrate phantom
+        # empty-queue occupancy back to t=0, so the integral starts at the
+        # owning queue's creation time.
+        self.last_change_time = created_at
         self.peak_packets = 0
         self.peak_bytes = 0
 
@@ -78,7 +93,10 @@ class DropTailQueue:
         dropped (classic drop tail).  ``None`` means unbounded.
     clock:
         Zero-argument callable returning the current simulation time; used
-        to stamp packets and integrate occupancy.
+        to stamp packets and integrate occupancy.  The occupancy integral
+        starts at the clock's value at construction, so queues created
+        mid-simulation (a flow joining at t=30) do not accrue phantom
+        empty-queue time from t=0.
     on_drop:
         Optional callback invoked with each dropped packet (used by loss
         monitors and tests).
@@ -97,10 +115,11 @@ class DropTailQueue:
         self._on_drop = on_drop
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
-        self.stats = QueueStats()
+        self.created_at = clock()
+        self.stats = QueueStats(created_at=self.created_at)
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return self._count()
 
     @property
     def bytes_queued(self) -> int:
@@ -110,14 +129,14 @@ class DropTailQueue:
     @property
     def packets_queued(self) -> int:
         """Current occupancy in packets."""
-        return len(self._queue)
+        return self._count()
 
     def _integrate_occupancy(self) -> None:
         now = self._clock()
         elapsed = now - self.stats.last_change_time
         if elapsed > 0:
             self.stats.occupancy_byte_seconds += self._bytes * elapsed
-            self.stats.occupancy_packet_seconds += len(self._queue) * elapsed
+            self.stats.occupancy_packet_seconds += self._count() * elapsed
         self.stats.last_change_time = now
 
     def _fits(self, packet: Packet) -> bool:
@@ -132,11 +151,11 @@ class DropTailQueue:
             self._drop(packet)
             return False
         packet.enqueued_at = self._clock()
-        self._queue.append(packet)
+        self._append(packet)
         self._bytes += packet.size_bytes
         self.stats.enqueued_packets += 1
         self.stats.enqueued_bytes += packet.size_bytes
-        self.stats.peak_packets = max(self.stats.peak_packets, len(self._queue))
+        self.stats.peak_packets = max(self.stats.peak_packets, self._count())
         self.stats.peak_bytes = max(self.stats.peak_bytes, self._bytes)
         return True
 
@@ -149,7 +168,7 @@ class DropTailQueue:
     def dequeue(self) -> Optional[Packet]:
         """Pop the head packet, or return None when empty."""
         self._integrate_occupancy()
-        if not self._queue:
+        if not self._count():
             return None
         packet = self._popleft()
         self._bytes -= packet.size_bytes
@@ -157,15 +176,55 @@ class DropTailQueue:
         self.stats.dequeued_bytes += packet.size_bytes
         return packet
 
+    def flush(self) -> List[Packet]:
+        """Remove and return all queued packets (used at teardown).
+
+        Drained packets are credited to the ``flushed_*`` counters so the
+        conservation law survives teardown.
+        """
+        self._integrate_occupancy()
+        drained = self._drain()
+        for packet in drained:
+            self.stats.flushed_packets += 1
+            self.stats.flushed_bytes += packet.size_bytes
+        self._bytes = 0
+        return drained
+
+    def assert_conservation(self) -> None:
+        """Raise AssertionError unless every packet is accounted for.
+
+        Checks ``enqueued == dequeued + flushed + queued`` in both packets
+        and bytes.  Cheap enough to call from tests and teardown paths.
+        """
+        stats = self.stats
+        accounted_packets = (
+            stats.dequeued_packets + stats.flushed_packets + self._count()
+        )
+        assert stats.enqueued_packets == accounted_packets, (
+            f"packet conservation violated: enqueued={stats.enqueued_packets} "
+            f"!= dequeued={stats.dequeued_packets} + "
+            f"flushed={stats.flushed_packets} + queued={self._count()}"
+        )
+        accounted_bytes = stats.dequeued_bytes + stats.flushed_bytes + self._bytes
+        assert stats.enqueued_bytes == accounted_bytes, (
+            f"byte conservation violated: enqueued={stats.enqueued_bytes} "
+            f"!= dequeued={stats.dequeued_bytes} + "
+            f"flushed={stats.flushed_bytes} + queued={self._bytes}"
+        )
+
+    # -- storage hooks (overridden by PriorityQueue) -------------------
+    def _count(self) -> int:
+        return len(self._queue)
+
+    def _append(self, packet: Packet) -> None:
+        self._queue.append(packet)
+
     def _popleft(self) -> Packet:
         return self._queue.popleft()
 
-    def flush(self) -> List[Packet]:
-        """Remove and return all queued packets (used at teardown)."""
-        self._integrate_occupancy()
+    def _drain(self) -> List[Packet]:
         drained = list(self._queue)
         self._queue.clear()
-        self._bytes = 0
         return drained
 
 
@@ -175,16 +234,34 @@ class PriorityQueue(DropTailQueue):
     Packets with a *lower* ``priority`` value are dequeued first; within a
     priority class order is FIFO.  Capacity accounting and drop-tail
     behaviour are inherited unchanged.
+
+    Storage is a binary heap keyed on ``(priority, arrival_seq)``, so
+    both enqueue and dequeue are O(log n) — replacing the previous O(n)
+    rotate-and-scan over the whole deque — while the arrival sequence
+    number keeps same-priority packets in strict FIFO order.
     """
 
+    def __init__(
+        self,
+        capacity_bytes: Optional[int],
+        clock: Callable[[], float],
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        super().__init__(capacity_bytes, clock, on_drop)
+        self._pq: List[Tuple[int, int, Packet]] = []
+        self._arrival = count()
+
+    def _count(self) -> int:
+        return len(self._pq)
+
+    def _append(self, packet: Packet) -> None:
+        heapq.heappush(self._pq, (packet.priority, next(self._arrival), packet))
+
     def _popleft(self) -> Packet:
-        best_index = 0
-        best_priority = self._queue[0].priority
-        for index, packet in enumerate(self._queue):
-            if packet.priority < best_priority:
-                best_priority = packet.priority
-                best_index = index
-        self._queue.rotate(-best_index)
-        packet = self._queue.popleft()
-        self._queue.rotate(best_index)
-        return packet
+        return heapq.heappop(self._pq)[2]
+
+    def _drain(self) -> List[Packet]:
+        # Drain in dequeue (priority, then FIFO) order.
+        drained = [entry[2] for entry in sorted(self._pq)]
+        self._pq.clear()
+        return drained

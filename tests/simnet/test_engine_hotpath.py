@@ -1,0 +1,268 @@
+"""Regression and behaviour tests for the tuple-heap event core.
+
+Covers the ``run(until=..., max_events=...)`` clock bug (the loop used
+to fast-forward ``now`` to ``until`` even when it stopped early on
+``max_events``, stranding still-pending events in the past), tie-break
+ordering after the tuple rewrite, O(1) pending-event accounting, and
+the opt-in profiling hook.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import SimulationError, Simulator
+
+
+class TestMaxEventsClockRegression:
+    def test_clock_not_fast_forwarded_past_pending_events(self):
+        # The original bug: stopping on max_events jumped now to until,
+        # stranding the events at t=2 and t=3 in the past.
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, fired.append, t)
+        sim.run(until=10.0, max_events=1)
+        assert fired == [1.0]
+        assert sim.now == 1.0
+
+    def test_schedule_after_early_stop_does_not_raise(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(until=10.0, max_events=1)
+        # With the clock stuck at 10.0 this used to raise SimulationError.
+        sim.schedule_at(1.5, lambda: None)
+
+    def test_resumed_run_fires_stranded_events_in_order(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, fired.append, t)
+        sim.run(until=10.0, max_events=1)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 10.0
+
+    def test_clock_advances_when_calendar_exhausted_up_to_until(self):
+        # Stopping on max_events with the only remaining event beyond
+        # until still counts as exhausted up to until.
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(50.0, lambda: None)
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 10.0
+
+    def test_clock_advances_to_until_when_calendar_empty(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_without_until_leaves_clock_at_last_event(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run(max_events=2)
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+
+class TestTupleHeapOrdering:
+    def test_ties_fire_in_insertion_order_with_interleaved_times(self):
+        sim = Simulator()
+        order = []
+        # Schedule two tie groups out of time order; within each group
+        # insertion order must be preserved.
+        for i in range(5):
+            sim.schedule_at(2.0, order.append, ("late", i))
+        for i in range(5):
+            sim.schedule_at(1.0, order.append, ("early", i))
+        sim.run()
+        assert order == [("early", i) for i in range(5)] + [
+            ("late", i) for i in range(5)
+        ]
+
+    def test_ties_survive_cancellation_gaps(self):
+        sim = Simulator()
+        order = []
+        handles = [sim.schedule_at(1.0, order.append, i) for i in range(8)]
+        for i in (0, 3, 7):
+            handles[i].cancel()
+        sim.run()
+        assert order == [1, 2, 4, 5, 6]
+
+    def test_events_scheduled_mid_tie_fire_after_existing_ties(self):
+        sim = Simulator()
+        order = []
+
+        def spawn():
+            order.append("first")
+            sim.schedule_at(1.0, order.append, "spawned")
+
+        sim.schedule_at(1.0, spawn)
+        sim.schedule_at(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "spawned"]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=5), st.booleans()),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_fire_order_is_time_then_insertion(self, entries):
+        sim = Simulator()
+        fired = []
+        expected = []
+        for index, (time_slot, cancel) in enumerate(entries):
+            handle = sim.schedule_at(float(time_slot), fired.append, index)
+            if cancel:
+                handle.cancel()
+            else:
+                expected.append((float(time_slot), index))
+        sim.run()
+        expected.sort()  # stable: (time, insertion index)
+        assert fired == [index for _, index in expected]
+
+
+class TestPendingAccounting:
+    def test_pending_events_counts_live_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events == 6
+
+    def test_cancel_is_o1_and_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        handle.cancel()  # must not corrupt pending accounting
+        assert fired == ["x"]
+        assert sim.pending_events == 0
+
+    def test_pending_drops_as_events_fire(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=2)
+        assert sim.pending_events == 3
+
+    def test_clear_resets_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+        assert sim.peek_time() is None
+
+    def test_step_skips_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        first.cancel()
+        assert sim.step() is True
+        assert fired == ["b"]
+        assert sim.now == 2.0
+
+
+class TestProfilingHook:
+    def test_profiling_off_by_default(self):
+        assert Simulator().profile is None
+
+    def test_enable_is_idempotent(self):
+        sim = Simulator()
+        profile = sim.enable_profiling()
+        assert sim.enable_profiling() is profile
+
+    def test_counts_events_and_wall_time(self):
+        sim = Simulator()
+        profile = sim.enable_profiling()
+        for i in range(100):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert profile.events == 100
+        assert profile.run_calls == 1
+        assert profile.wall_seconds > 0.0
+        assert profile.events_per_second > 0.0
+
+    def test_counts_accumulate_across_runs(self):
+        sim = Simulator()
+        profile = sim.enable_profiling()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert profile.events == 2
+        assert profile.run_calls == 2
+
+    def test_phase_timers_accumulate(self):
+        sim = Simulator()
+        profile = sim.enable_profiling()
+        with profile.phase("setup"):
+            pass
+        with profile.phase("setup"):
+            pass
+        with profile.phase("teardown"):
+            pass
+        assert set(profile.phase_seconds) == {"setup", "teardown"}
+        assert profile.phase_seconds["setup"] >= 0.0
+
+    def test_as_dict_shape(self):
+        sim = Simulator()
+        profile = sim.enable_profiling()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        payload = profile.as_dict()
+        assert payload["events"] == 1
+        assert payload["run_calls"] == 1
+        assert "events_per_second" in payload
+        assert payload["phase_seconds"] == {}
+
+    def test_events_per_second_zero_before_any_run(self):
+        sim = Simulator()
+        profile = sim.enable_profiling()
+        assert profile.events_per_second == 0.0
+
+
+class TestRunSemanticsPreserved:
+    def test_until_restores_not_yet_due_event(self):
+        # The tight loop pops the head before checking until; it must be
+        # restored intact, including for a later cancel.
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+        assert sim.pending_events == 1
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_exception_in_callback_leaves_engine_usable(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # The engine must not be stuck in the "running" state.
+        sim.run()
+        assert sim.pending_events == 0

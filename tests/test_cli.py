@@ -65,3 +65,55 @@ class TestCommands:
         assert main(["diagnose"]) == 0
         out = capsys.readouterr().out
         assert "detected: asn=isp-a, metro=nyc" in out
+
+
+class TestSweepCommand:
+    MINI = [
+        "sweep", "--runs", "1", "--duration", "2",
+        "--ssthresh-range", "2,16", "--window-range", "4",
+        "--beta-range", "0.2", "--quiet",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.runs == 8
+        assert args.preset == "table3-remy"
+        assert args.workers is None
+        assert not args.serial_check
+
+    def test_float_list_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--beta-range", "nope"])
+
+    def test_mini_sweep_runs(self, capsys):
+        assert main(self.MINI) == 0
+        out = capsys.readouterr().out
+        assert "best point:" in out
+        assert "parallel" in out
+
+    def test_serial_check_reports_bit_identical(self, capsys):
+        assert main(self.MINI + ["--serial-check"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "speedup=" in out
+
+    def test_bench_json_written(self, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH_sweep.json")
+        assert main(self.MINI + ["--bench-json", bench]) == 0
+        import json
+
+        with open(bench) as handle:
+            trajectory = json.load(handle)
+        assert len(trajectory) == 1
+        entry = trajectory[0]
+        assert entry["label"] == "cli-sweep-table3-remy"
+        assert entry["grid_points"] == 2
+        assert entry["parallel"]["points"] == 2
+        assert "machine" in entry
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.MINI + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(self.MINI + ["--cache-dir", cache_dir]) == 0
+        assert "cache hits=2" in capsys.readouterr().out
