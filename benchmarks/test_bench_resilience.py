@@ -1,0 +1,95 @@
+"""Resilience-layer overhead bench: supervision + checkpointing tax.
+
+PR 4 wrapped the sweep pool in a crash supervisor and an fsync'ing
+checkpoint journal.  Both must be near-free on the happy path — a sweep
+with zero faults should run at PR-3 speed.  This bench runs the same
+reduced grid three ways:
+
+- ``bare``        — no checkpointing (the PR-3 configuration),
+- ``journal``     — checkpointing on, per-record fsync on,
+- ``journal (no fsync)`` — checkpointing on, fsync off,
+
+verifies all three are bit-identical, and appends the overhead ratios to
+``BENCH_resilience.json`` so the tax is tracked commit over commit.
+"""
+
+import os
+
+from bench_common import report, run_once, scaled
+
+from repro.experiments.scenarios import TABLE3_REMY
+from repro.runner import NullCache, SweepRunner, append_bench_entry, bench_entry
+from repro.transport.cubic import cubic_sweep_grid
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "BENCH_resilience.json"
+)
+
+
+def test_bench_resilience_overhead(benchmark, capfd, tmp_path):
+    grid = list(
+        cubic_sweep_grid(
+            ssthresh_range=scaled([2.0, 128.0], None),
+            window_init_range=scaled([2.0, 64.0], None),
+            beta_range=scaled([0.2, 0.8], None),
+        )
+    )
+    n_runs = scaled(1, 4)
+    duration_s = scaled(5.0, None)
+
+    def run(checkpoint_dir=None, fsync=True):
+        runner = SweepRunner(
+            TABLE3_REMY,
+            duration_s=duration_s,
+            cache=NullCache(),
+            checkpoint_dir=checkpoint_dir,
+            journal_fsync=fsync,
+        )
+        return runner.run(grid, n_runs=n_runs)
+
+    bare = run_once(benchmark, run)
+    journal = run(checkpoint_dir=str(tmp_path / "ckpt-fsync"))
+    journal_nofsync = run(checkpoint_dir=str(tmp_path / "ckpt-nofsync"), fsync=False)
+
+    for other in (journal, journal_nofsync):
+        assert len(other.points) == len(bare.points)
+        mismatched = [
+            index
+            for index, (a, b) in enumerate(zip(bare.points, other.points))
+            if not a.identical_to(b)
+        ]
+        assert mismatched == [], f"checkpointing perturbed points: {mismatched}"
+        assert other.complete
+
+    tax_fsync = journal.wall_seconds / max(bare.wall_seconds, 1e-9)
+    tax_nofsync = journal_nofsync.wall_seconds / max(bare.wall_seconds, 1e-9)
+
+    entry = bench_entry(
+        "bench-resilience-overhead",
+        serial=bare,
+        parallel=journal,
+        extra={
+            "grid_points": len(grid),
+            "n_runs": n_runs,
+            "duration_s": duration_s,
+            "journal_fsync_tax": tax_fsync,
+            "journal_nofsync_tax": tax_nofsync,
+        },
+    )
+    append_bench_entry(BENCH_JSON, entry)
+
+    with report(capfd, "Resilience layer: supervision + checkpoint overhead"):
+        print(f"grid points: {len(grid)}  runs/point: {n_runs}")
+        print(f"{'path':<22s} {'wall (s)':>10s} {'vs bare':>9s}")
+        print(f"{'bare':<22s} {bare.wall_seconds:>10.2f} {'1.00x':>9s}")
+        print(f"{'journal (fsync)':<22s} {journal.wall_seconds:>10.2f} "
+              f"{tax_fsync:>8.2f}x")
+        print(f"{'journal (no fsync)':<22s} {journal_nofsync.wall_seconds:>10.2f} "
+              f"{tax_nofsync:>8.2f}x")
+        print(f"bit-identical: yes ({len(bare.points)} points)")
+        print(f"trajectory: {BENCH_JSON}")
+
+    # The happy path must not pay meaningfully for crash-safety: allow
+    # generous slack for machine noise, but catch an accidental
+    # serialization of the sweep behind the journal.
+    assert tax_fsync < 2.0, f"checkpoint journal tax too high: {tax_fsync:.2f}x"

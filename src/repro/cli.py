@@ -48,7 +48,14 @@ from .ipfix import (
 )
 from .phi import REFERENCE_POLICY, SharingMode
 from .phi.optimizer import select_optimal
-from .runner import ConsoleProgress, append_bench_entry, bench_entry
+from .runner import (
+    ConsoleProgress,
+    ResilienceConfig,
+    RetryPolicy,
+    append_bench_entry,
+    bench_entry,
+)
+from .simnet.engine import WatchdogConfig
 from .transport import CubicParams
 from .transport.cubic import cubic_sweep_grid
 
@@ -141,8 +148,26 @@ def _float_list(text: str) -> List[float]:
     return values
 
 
+def _sweep_resilience(args: argparse.Namespace) -> ResilienceConfig:
+    return ResilienceConfig(
+        retry=RetryPolicy(max_attempts=args.retries),
+        point_timeout_s=args.point_timeout,
+    )
+
+
+def _sweep_watchdog(args: argparse.Namespace) -> Optional[WatchdogConfig]:
+    if args.max_sim_events is None and args.max_sim_seconds is None:
+        return None
+    return WatchdogConfig(
+        max_events=args.max_sim_events, max_wall_s=args.max_sim_seconds
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     preset = _preset_or_exit(args.preset)
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     if args.ssthresh_range or args.window_range or args.beta_range:
         grid = list(
             cubic_sweep_grid(
@@ -160,27 +185,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         duration_s=args.duration,
         cache_dir=args.cache_dir,
+        resilience=_sweep_resilience(args),
+        watchdog=_sweep_watchdog(args),
     )
     parallel_outcome = run_parameter_sweep(
-        preset, grid, n_workers=args.workers, progress=progress, **common
+        preset,
+        grid,
+        n_workers=args.workers,
+        progress=progress,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        **common,
     )
+    for quarantined in parallel_outcome.quarantined:
+        print(f"QUARANTINED: {quarantined.describe()}", file=sys.stderr)
     serial_outcome = None
     if args.serial_check:
         # The check pass must recompute every point; reading the parallel
-        # pass's cache back would compare the cache against itself.
+        # pass's cache or checkpoint back would compare them against
+        # themselves.
         serial_outcome = run_parameter_sweep(
             preset, grid, parallel=False, **{**common, "cache_dir": None}
         )
+        serial_by_key = {point.key: point for point in serial_outcome.points}
         mismatched = sum(
             1
-            for a, b in zip(serial_outcome.points, parallel_outcome.points)
-            if not a.identical_to(b)
+            for point in parallel_outcome.points
+            if point.key not in serial_by_key
+            or not serial_by_key[point.key].identical_to(point)
         )
         if mismatched:
             print(f"DETERMINISM VIOLATION: {mismatched} point(s) differ "
                   f"between serial and parallel sweeps", file=sys.stderr)
             return 1
-        print(f"serial check: all {len(grid)} x {args.runs} points bit-identical")
+        survivors = len(parallel_outcome.points)
+        print(f"serial check: all {survivors} surviving point(s) bit-identical"
+              + ("" if parallel_outcome.complete
+                 else f" ({len(parallel_outcome.quarantined)} quarantined)"))
         print(f"serial   {serial_outcome.wall_seconds:8.2f}s "
               f"({serial_outcome.events_per_second:,.0f} events/s)")
     speedup = (
@@ -190,14 +231,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(f"parallel {parallel_outcome.wall_seconds:8.2f}s "
           f"({parallel_outcome.events_per_second:,.0f} events/s, "
-          f"workers={parallel_outcome.workers}, "
-          f"cache hits={parallel_outcome.cache_hits})"
+          f"workers={parallel_outcome.workers})"
           + (f"  speedup={speedup:.2f}x" if speedup is not None else ""))
+    print(f"points: total={len(grid) * args.runs} "
+          f"cached={parallel_outcome.cache_hits} "
+          f"resumed={parallel_outcome.checkpoint_reused} "
+          f"recomputed={len(parallel_outcome.points) - parallel_outcome.cache_hits - parallel_outcome.checkpoint_reused} "
+          f"retries={parallel_outcome.retries} "
+          f"quarantined={len(parallel_outcome.quarantined)}"
+          + (" [serial fallback]" if parallel_outcome.serial_fallback else ""))
 
-    best = select_optimal(parallel_outcome.to_sweep_results())
-    p = best.params
-    print(f"best point: wI={p.window_init:.0f} ssthr={p.initial_ssthresh:.0f} "
-          f"beta={p.beta}  P_l={best.mean_power_l:.4f}")
+    results = parallel_outcome.to_sweep_results()
+    if results:
+        best = select_optimal(results)
+        p = best.params
+        print(f"best point: wI={p.window_init:.0f} ssthr={p.initial_ssthresh:.0f} "
+              f"beta={p.beta}  P_l={best.mean_power_l:.4f}")
+    else:
+        print("no surviving points; every point was quarantined", file=sys.stderr)
 
     if args.bench_json:
         entry = bench_entry(
@@ -313,6 +364,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated windowInit_ values")
     sweep.add_argument("--beta-range", type=_float_list, default=None,
                        help="comma-separated beta values")
+    sweep.add_argument("--checkpoint-dir", default=None,
+                       help="journal completed points under this directory "
+                            "(crash-safe, resumable)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay an existing checkpoint journal; only "
+                            "unfinished points are recomputed")
+    sweep.add_argument("--retries", type=int, default=3,
+                       help="attempts per point before quarantine (default 3)")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       help="wall seconds per running point before the "
+                            "supervisor kills and retries it")
+    sweep.add_argument("--max-sim-events", type=int, default=None,
+                       help="watchdog: abort a simulation after this many events")
+    sweep.add_argument("--max-sim-seconds", type=float, default=None,
+                       help="watchdog: abort a simulation after this much wall time")
     sweep.add_argument("--serial-check", action="store_true",
                        help="also run serially; verify bit-identical results")
     sweep.add_argument("--bench-json", default=None,

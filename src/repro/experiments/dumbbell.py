@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..metrics.summary import RunMetrics, summarize_connections
-from ..simnet.engine import Simulator
+from ..simnet.engine import Simulator, SimWatchdog, WatchdogConfig
 from ..simnet.monitor import ActiveFlowTracker, LinkMonitor
 from ..simnet.packet import FlowIdAllocator
 from ..simnet.random import RngStreams
@@ -39,9 +39,19 @@ class ExperimentEnv:
         config: Optional[DumbbellConfig] = None,
         seed: int = 0,
         monitor_period_s: float = 0.1,
+        watchdog: Optional[WatchdogConfig] = None,
     ) -> "ExperimentEnv":
-        """Build the topology and start the bottleneck monitor."""
+        """Build the topology and start the bottleneck monitor.
+
+        ``watchdog`` installs a :class:`SimWatchdog` on the fresh
+        simulator so a runaway run raises
+        :class:`~repro.simnet.engine.SimulationStalled` instead of
+        spinning forever; it never alters the trajectory of a run that
+        finishes within its budgets.
+        """
         sim = Simulator()
+        if watchdog is not None:
+            sim.install_watchdog(SimWatchdog(watchdog))
         topology = DumbbellTopology(sim, config or DumbbellConfig())
         monitor = LinkMonitor(sim, topology.bottleneck, period_s=monitor_period_s)
         monitor.start()
@@ -95,6 +105,7 @@ def run_onoff_scenario(
     duration_s: float = 60.0,
     seed: int = 0,
     include_unfinished: bool = False,
+    watchdog: Optional[WatchdogConfig] = None,
 ) -> ScenarioResult:
     """Run the paper's on/off workload over a fresh dumbbell.
 
@@ -102,7 +113,7 @@ def run_onoff_scenario(
     factory, which is how Phi coordination, partial deployment, and plain
     baselines are all expressed.
     """
-    env = ExperimentEnv.create(config, seed)
+    env = ExperimentEnv.create(config, seed, watchdog=watchdog)
     workload = workload or OnOffConfig()
     sources = []
     for index in range(env.topology.config.n_senders):
@@ -135,6 +146,7 @@ def run_long_running_scenario(
     duration_s: float = 60.0,
     seed: int = 0,
     warmup_s: float = 5.0,
+    watchdog: Optional[WatchdogConfig] = None,
 ) -> ScenarioResult:
     """Run persistent bulk flows (the Figure 2c setting).
 
@@ -142,7 +154,7 @@ def run_long_running_scenario(
     but utilization is reported post-warmup so slow-start transients do
     not dilute the steady-state picture.
     """
-    env = ExperimentEnv.create(config, seed)
+    env = ExperimentEnv.create(config, seed, watchdog=watchdog)
     n = env.topology.config.n_senders
     flows: List[LongRunningFlow] = []
     for index in range(n):

@@ -22,6 +22,7 @@ from ..phi.optimizer import Evaluator
 from ..phi.policy import PolicyTable
 from ..phi.server import ContextServer, IdealContextOracle
 from ..metrics.summary import summarize_connections
+from ..simnet.engine import WatchdogConfig
 from ..simnet.topology import DumbbellConfig
 from ..transport.cubic import CubicParams
 from ..workload.onoff import OnOffConfig
@@ -117,18 +118,24 @@ def run_cubic_fixed(
     preset: ScenarioPreset,
     seed: int = 0,
     duration_s: Optional[float] = None,
+    watchdog: Optional[WatchdogConfig] = None,
 ) -> ScenarioResult:
     """All senders run Cubic with one fixed parameter setting.
 
     This is the paper's "simplified setting, where ... all the TCP Cubic
     senders use the same parameter settings that is fixed for the
-    duration of the run".
+    duration of the run".  ``watchdog`` bounds the run's event/wall
+    budgets (see :class:`~repro.simnet.engine.SimWatchdog`).
     """
     slots = uniform_slots(lambda env: plain_cubic_factory(params))
     duration = duration_s if duration_s is not None else preset.duration_s
     if preset.workload is None:
         return run_long_running_scenario(
-            slots, config=preset.config, duration_s=duration, seed=seed
+            slots,
+            config=preset.config,
+            duration_s=duration,
+            seed=seed,
+            watchdog=watchdog,
         )
     return run_onoff_scenario(
         slots,
@@ -136,6 +143,7 @@ def run_cubic_fixed(
         workload=preset.workload,
         duration_s=duration,
         seed=seed,
+        watchdog=watchdog,
     )
 
 

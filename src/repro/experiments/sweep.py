@@ -17,6 +17,8 @@ from ..phi.optimizer import SweepResult
 from ..runner.cache import DiskCache
 from ..runner.core import SweepOutcome, SweepRunner
 from ..runner.progress import ProgressReporter
+from ..runner.resilience import ResilienceConfig
+from ..simnet.engine import WatchdogConfig
 from ..transport.cubic import CubicParams, cubic_sweep_grid
 from .scenarios import TABLE3_REMY, ScenarioPreset
 
@@ -32,12 +34,22 @@ def run_parameter_sweep(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressReporter] = None,
     parallel: bool = True,
+    resilience: Optional[ResilienceConfig] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepOutcome:
     """Sweep a Cubic parameter grid over ``preset`` via the runner.
 
     Defaults reproduce the paper's setup: the full 576-point Table-2
     grid, 8 runs per point, seeds ``base_seed + run_index`` shared across
     grid points so leave-one-out comparisons see identical workloads.
+
+    ``checkpoint_dir``/``resume`` journal completed points so an
+    interrupted sweep can pick up where it died; ``resilience`` and
+    ``watchdog`` tune crash/hang supervision (see
+    :mod:`repro.runner.resilience` and
+    :class:`~repro.simnet.engine.SimWatchdog`).
     """
     points = list(grid) if grid is not None else list(cubic_sweep_grid())
     cache = DiskCache(cache_dir) if cache_dir is not None else None
@@ -47,6 +59,10 @@ def run_parameter_sweep(
         n_workers=n_workers,
         cache=cache,
         progress=progress,
+        resilience=resilience,
+        watchdog=watchdog,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return runner.run(points, n_runs=n_runs, base_seed=base_seed, parallel=parallel)
 

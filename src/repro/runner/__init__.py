@@ -2,12 +2,16 @@
 
 Fans parameter grids / scenario lists out over a worker pool with
 content-hash result caching, progress reporting, and a deterministic
-merge that makes parallel sweeps bit-identical to serial ones.  See
-DESIGN.md ("Sweep runner") for the architecture.
+merge that makes parallel sweeps bit-identical to serial ones.
+Execution is crash-safe: a supervisor (:mod:`repro.runner.resilience`)
+retries or quarantines failing points, and a checkpoint journal
+(:mod:`repro.runner.checkpoint`) makes interrupted sweeps resumable.
+See DESIGN.md ("Sweep runner", "Failure modes") for the architecture.
 """
 
 from .bench import append_bench_entry, bench_entry, machine_fingerprint
 from .cache import CacheStats, DiskCache, MemoryCache, NullCache
+from .checkpoint import CheckpointError, SweepJournal, sweep_key
 from .core import (
     SweepOutcome,
     SweepPoint,
@@ -18,22 +22,38 @@ from .core import (
 from .hashing import ENGINE_SIGNATURE, canonical_json, content_hash, point_key
 from .progress import ConsoleProgress, ProgressReporter, SweepProgress
 from .records import FlowRecord, PointResult, flow_records
+from .resilience import (
+    ExecutionReport,
+    PointFailure,
+    QuarantinedPoint,
+    ResilienceConfig,
+    RetryPolicy,
+    SweepSupervisor,
+)
 
 __all__ = [
     "ENGINE_SIGNATURE",
     "CacheStats",
+    "CheckpointError",
     "ConsoleProgress",
     "DiskCache",
+    "ExecutionReport",
     "FlowRecord",
     "MemoryCache",
     "NullCache",
+    "PointFailure",
     "PointResult",
     "ProgressReporter",
+    "QuarantinedPoint",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "SweepJournal",
     "SweepOutcome",
     "SweepPoint",
     "SweepProgress",
     "SweepRunner",
     "SweepSpec",
+    "SweepSupervisor",
     "append_bench_entry",
     "bench_entry",
     "canonical_json",
@@ -42,4 +62,5 @@ __all__ = [
     "flow_records",
     "machine_fingerprint",
     "point_key",
+    "sweep_key",
 ]

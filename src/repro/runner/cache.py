@@ -14,18 +14,20 @@ import os
 import tempfile
 from typing import Dict, Optional
 
+from .hashing import content_hash
 from .records import PointResult
 
 
 class CacheStats:
     """Hit/miss counters shared by all cache backends."""
 
-    __slots__ = ("hits", "misses", "writes")
+    __slots__ = ("hits", "misses", "writes", "corrupt_evictions")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt_evictions = 0
 
 
 class MemoryCache:
@@ -52,10 +54,15 @@ class MemoryCache:
 
 
 class DiskCache:
-    """One JSON file per point under ``directory``.
+    """One checksummed JSON file per point under ``directory``.
 
-    Writes are atomic (temp file + rename) so a crashed or interrupted
-    sweep never leaves a torn cache entry behind.
+    Corruption-proof by construction: writes are atomic (temp file +
+    ``os.replace``) so a crashed or interrupted sweep never leaves a
+    torn entry behind, and every entry embeds a SHA-256 over its
+    canonical payload.  ``get`` treats *any* damage — unreadable file,
+    invalid JSON, checksum mismatch, schema drift — as a miss, deletes
+    the poisoned file so it cannot fail again, and lets the sweep
+    recompute the point instead of aborting mid-run.
     """
 
     def __init__(self, directory: str) -> None:
@@ -69,25 +76,46 @@ class DiskCache:
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
 
+    def _evict_corrupt(self, path: str) -> None:
+        self.stats.corrupt_evictions += 1
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - deletion is best-effort
+            pass
+
     def get(self, key: str) -> Optional[PointResult]:
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+                envelope = json.load(handle)
+            payload = envelope["result"]
+            if envelope["checksum"] != content_hash(payload):
+                raise ValueError("checksum mismatch")
+            result = PointResult.from_dict(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated write from a killed run, bit rot, stale schema:
+            # delete-and-miss so one bad file can't poison every sweep.
+            self._evict_corrupt(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return PointResult.from_dict(data)
+        return result
 
     def put(self, result: PointResult) -> None:
         path = self._path(result.key)
+        payload = result.to_dict()
+        envelope = {"checksum": content_hash(payload), "result": payload}
         fd, tmp_path = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_dict(), handle)
+                json.dump(envelope, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, path)
         except BaseException:
             try:

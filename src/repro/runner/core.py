@@ -12,6 +12,14 @@ the serial one.
 Workers are plain processes running :func:`evaluate_point`; everything
 that crosses the process boundary (tasks in, :class:`PointResult` out)
 is a picklable frozen dataclass.
+
+Execution is supervised (see :mod:`repro.runner.resilience`): worker
+crashes and hung points are retried with budgeted backoff, repeatedly
+failing points are quarantined instead of aborting the sweep, and an
+unrecoverable pool degrades to in-process serial execution.  Completed
+points can be journaled to a crash-safe checkpoint
+(:mod:`repro.runner.checkpoint`) so an interrupted sweep resumes where
+it died.
 """
 
 from __future__ import annotations
@@ -19,16 +27,24 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..phi.optimizer import SweepResult
+from ..simnet.engine import WatchdogConfig
 from ..transport.cubic import CubicParams
 from .cache import MemoryCache
+from .checkpoint import SweepJournal
+from .faultinject import ENV_VAR as _FAULT_ENV_VAR
 from .hashing import point_key
 from .progress import ProgressReporter, SweepProgress
 from .records import PointResult, flow_records
+from .resilience import (
+    ExecutionReport,
+    QuarantinedPoint,
+    ResilienceConfig,
+    SweepSupervisor,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard: experiments imports us
     from ..experiments.scenarios import ScenarioPreset
@@ -36,10 +52,17 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard: experiments imports us
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """What stays fixed across the whole sweep: scenario and duration."""
+    """What stays fixed across the whole sweep: scenario and duration.
+
+    ``watchdog`` optionally bounds every point's simulation (max events
+    / max wall seconds); it can abort a runaway run but never alters the
+    trajectory of one that finishes, so it is deliberately *excluded*
+    from cache keys.
+    """
 
     preset: "ScenarioPreset"
     duration_s: Optional[float] = None
+    watchdog: Optional[WatchdogConfig] = None
 
     @property
     def effective_duration_s(self) -> float:
@@ -78,9 +101,18 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
     # machinery has to bind lazily to keep the import graph acyclic.
     from ..experiments.scenarios import run_cubic_fixed
 
+    if _FAULT_ENV_VAR in os.environ:  # test-only fault injection hook
+        from .faultinject import maybe_inject_fault
+
+        maybe_inject_fault(point)
+
     started = time.perf_counter()
     result = run_cubic_fixed(
-        point.params, spec.preset, seed=point.seed, duration_s=spec.duration_s
+        point.params,
+        spec.preset,
+        seed=point.seed,
+        duration_s=spec.duration_s,
+        watchdog=spec.watchdog,
     )
     wall = time.perf_counter() - started
     return PointResult(
@@ -100,7 +132,12 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
 
 @dataclass
 class SweepOutcome:
-    """A completed sweep: per-point results in deterministic order."""
+    """A completed sweep: per-point results in deterministic order.
+
+    ``points`` holds the surviving results; quarantined points (if any)
+    are reported in ``quarantined`` with their failure histories and are
+    absent from ``points``.
+    """
 
     spec: SweepSpec
     points: List[PointResult]
@@ -109,6 +146,11 @@ class SweepOutcome:
     wall_seconds: float
     workers: int
     cache_hits: int
+    checkpoint_reused: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
+    quarantined: List[QuarantinedPoint] = field(default_factory=list)
 
     @property
     def total_events(self) -> int:
@@ -120,6 +162,11 @@ class SweepOutcome:
             return 0.0
         return self.total_events / self.wall_seconds
 
+    @property
+    def complete(self) -> bool:
+        """Whether every scheduled point produced a result."""
+        return not self.quarantined
+
     def to_sweep_results(self) -> List[SweepResult]:
         """Reshape into the optimizer's per-grid-point runs structure.
 
@@ -127,6 +174,7 @@ class SweepOutcome:
         and each point's runs are in run-index order, so
         :func:`repro.phi.optimizer.select_optimal` and
         :func:`~repro.phi.optimizer.leave_one_out` apply unchanged.
+        Quarantined points simply contribute fewer runs.
         """
         grouped: Dict[CubicParams, SweepResult] = {}
         ordered: List[SweepResult] = []
@@ -172,6 +220,24 @@ class SweepRunner:
         ``NullCache`` to disable).
     progress:
         Optional callable receiving :class:`SweepProgress` snapshots.
+    resilience:
+        Supervisor knobs (:class:`~repro.runner.resilience.ResilienceConfig`);
+        the default retries crashes/hangs and quarantines repeat
+        offenders instead of aborting.
+    watchdog:
+        Optional per-simulation :class:`~repro.simnet.engine.WatchdogConfig`
+        (max events / max wall seconds) installed in every worker run.
+    checkpoint_dir:
+        Journal completed points under this directory (crash-safe JSONL
+        keyed by the sweep's content hash).  ``None`` disables
+        checkpointing.
+    resume:
+        Replay an existing journal before scheduling work, so only
+        unfinished points are recomputed.  Without ``resume`` an
+        existing journal for the same sweep is truncated.
+    journal_fsync:
+        fsync the journal per record (durable against power loss); turn
+        off to speed up sweeps of very cheap points.
     """
 
     def __init__(
@@ -182,13 +248,22 @@ class SweepRunner:
         n_workers: Optional[int] = None,
         cache=None,
         progress: Optional[ProgressReporter] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        watchdog: Optional[WatchdogConfig] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        journal_fsync: bool = True,
     ) -> None:
-        self.spec = SweepSpec(preset=preset, duration_s=duration_s)
+        self.spec = SweepSpec(preset=preset, duration_s=duration_s, watchdog=watchdog)
         self.n_workers = n_workers if n_workers is not None else _default_workers()
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         self.cache = cache if cache is not None else MemoryCache()
         self.progress = progress
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.journal_fsync = journal_fsync
 
     def tasks(
         self,
@@ -222,39 +297,94 @@ class SweepRunner:
         tasks = self.tasks(grid, n_runs, base_seed)
         started = time.perf_counter()
 
+        journal: Optional[SweepJournal] = None
+        restored: Dict[str, PointResult] = {}
+        if self.checkpoint_dir is not None:
+            journal = SweepJournal.for_sweep(
+                self.checkpoint_dir,
+                self.spec,
+                grid,
+                n_runs,
+                base_seed,
+                fsync=self.journal_fsync,
+            )
+            if self.resume:
+                restored = journal.load()
+                journal.open()
+            else:
+                journal.reset()
+
         results: List[Optional[PointResult]] = [None] * len(tasks)
         pending: List[Tuple[int, SweepPoint]] = []
         cache_hits = 0
+        checkpoint_hits = 0
         for index, task in enumerate(tasks):
-            cached = self.cache.get(task.key(self.spec))
+            key = task.key(self.spec)
+            checkpointed = restored.get(key)
+            if checkpointed is not None:
+                results[index] = checkpointed
+                checkpoint_hits += 1
+                continue
+            cached = self.cache.get(key)
             if cached is not None:
                 results[index] = cached
                 cache_hits += 1
+                if journal is not None:
+                    # Journal cache hits too: a resume must not depend on
+                    # the cache still existing (or still being trusted).
+                    journal.append(cached)
             else:
                 pending.append((index, task))
 
         progress_state = SweepProgress(
             total=len(tasks),
-            completed=cache_hits,
+            completed=cache_hits + checkpoint_hits,
             cached=cache_hits,
+            checkpointed=checkpoint_hits,
             started_at=started,
         )
         self._report(progress_state)
 
+        supervisor = SweepSupervisor(
+            self.spec,
+            evaluate_point,
+            config=self.resilience,
+            n_workers=self.n_workers,
+            mp_context=_pool_context(),
+        )
+
+        def deliver(index: int, result: PointResult) -> None:
+            self.cache.put(result)
+            if journal is not None:
+                journal.append(result)
+            results[index] = result
+            progress_state.completed += 1
+            progress_state.recomputed += 1
+            sync_supervision()
+
+        def sync_supervision() -> None:
+            report = supervisor.report
+            progress_state.retries = report.retries
+            newly_quarantined = report.quarantined_count - progress_state.quarantined
+            if newly_quarantined:
+                progress_state.quarantined = report.quarantined_count
+                progress_state.completed += newly_quarantined
+            self._report(progress_state)
+
         use_pool = parallel and self.n_workers > 1 and len(pending) > 1
-        if use_pool:
-            self._run_pool(pending, results, progress_state)
-        else:
-            for index, task in pending:
-                result = evaluate_point(self.spec, task)
-                self.cache.put(result)
-                results[index] = result
-                progress_state.completed += 1
-                self._report(progress_state)
+        try:
+            if use_pool:
+                report = supervisor.execute_pool(pending, deliver, sync_supervision)
+            else:
+                report = supervisor.execute_serial(pending, deliver, sync_supervision)
+        finally:
+            if journal is not None:
+                journal.close()
 
         wall = time.perf_counter() - started
         merged = [result for result in results if result is not None]
-        if len(merged) != len(tasks):  # pragma: no cover - defensive
+        if len(merged) + report.quarantined_count != len(tasks):
+            # pragma: no cover - defensive
             raise RuntimeError("sweep lost results during merge")
         return SweepOutcome(
             spec=self.spec,
@@ -264,6 +394,11 @@ class SweepRunner:
             wall_seconds=wall,
             workers=self.n_workers if use_pool else 1,
             cache_hits=cache_hits,
+            checkpoint_reused=checkpoint_hits,
+            retries=report.retries,
+            pool_rebuilds=report.pool_rebuilds,
+            serial_fallback=report.serial_fallback,
+            quarantined=list(report.quarantined),
         )
 
     def run_serial(
@@ -275,30 +410,16 @@ class SweepRunner:
         """The single-process baseline (same code path, no pool)."""
         return self.run(grid, n_runs=n_runs, base_seed=base_seed, parallel=False)
 
-    def _run_pool(
-        self,
-        pending: Sequence[Tuple[int, SweepPoint]],
-        results: List[Optional[PointResult]],
-        progress_state: SweepProgress,
-    ) -> None:
-        workers = min(self.n_workers, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
-        ) as pool:
-            futures = {
-                pool.submit(evaluate_point, self.spec, task): index
-                for index, task in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    result = future.result()
-                    self.cache.put(result)
-                    results[futures[future]] = result
-                    progress_state.completed += 1
-                    self._report(progress_state)
-
     def _report(self, progress_state: SweepProgress) -> None:
         if self.progress is not None:
             self.progress(progress_state)
+
+
+__all__ = [
+    "ExecutionReport",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepSpec",
+    "evaluate_point",
+]

@@ -15,12 +15,30 @@ from typing import Callable, Optional, TextIO
 
 @dataclass
 class SweepProgress:
-    """A snapshot of how far the sweep has gotten."""
+    """A snapshot of how far the sweep has gotten.
+
+    ``completed`` counts points that are *settled* — served from cache,
+    restored from a checkpoint, freshly computed, or quarantined — so it
+    reaches ``total`` even on a sweep with poisoned points.  The
+    remaining counters break that total down: ``cached`` (cache hits),
+    ``checkpointed`` (journal restores on ``--resume``), ``recomputed``
+    (actually evaluated this run), ``retries`` (extra attempts the
+    supervisor made), and ``quarantined`` (points given up on).
+    """
 
     total: int
     completed: int
     cached: int
     started_at: float
+    checkpointed: int = 0
+    recomputed: int = 0
+    retries: int = 0
+    quarantined: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Alias for ``cached`` matching the CLI/outcome vocabulary."""
+        return self.cached
 
     @property
     def fraction(self) -> float:
@@ -71,10 +89,17 @@ class ConsoleProgress:
         self._last_emit = now
         eta = progress.eta_s
         eta_text = "--" if eta is None else f"{eta:.0f}s"
+        extras = ""
+        if progress.checkpointed:
+            extras += f" resumed={progress.checkpointed}"
+        if progress.retries:
+            extras += f" retries={progress.retries}"
+        if progress.quarantined:
+            extras += f" quarantined={progress.quarantined}"
         self.stream.write(
             f"\r[{progress.completed}/{progress.total}] "
             f"{progress.points_per_second:.1f} pts/s "
-            f"cached={progress.cached} eta={eta_text}"
+            f"cached={progress.cached}{extras} eta={eta_text}"
         )
         if finished:
             self.stream.write("\n")

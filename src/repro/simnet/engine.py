@@ -22,11 +22,140 @@ import heapq
 import itertools
 import math
 import time as _time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
+
+
+class SimulationStalled(SimulationError):
+    """A watchdog limit fired: the simulation is presumed runaway.
+
+    Structured so a supervisor (see :mod:`repro.runner.resilience`) can
+    decide whether to retry or quarantine the work item.  ``reason`` is
+    ``"max_events"`` or ``"max_wall_s"``; the remaining fields snapshot
+    the simulation at the moment the watchdog tripped.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        limit: float,
+        events_processed: int,
+        wall_seconds: float,
+        sim_now: float,
+    ) -> None:
+        super().__init__(
+            f"simulation stalled ({reason} limit {limit} hit after "
+            f"{events_processed} events, {wall_seconds:.3f}s wall, "
+            f"sim time {sim_now:.6f}s)"
+        )
+        self.reason = reason
+        self.limit = limit
+        self.events_processed = events_processed
+        self.wall_seconds = wall_seconds
+        self.sim_now = sim_now
+
+    def __reduce__(self):
+        # Watchdog errors cross process boundaries (worker -> supervisor),
+        # so pickling must rebuild via our five-argument constructor, not
+        # the single-message Exception default.
+        return (
+            type(self),
+            (
+                self.reason,
+                self.limit,
+                self.events_processed,
+                self.wall_seconds,
+                self.sim_now,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Limits for one simulation, enforced by :class:`SimWatchdog`.
+
+    Attributes
+    ----------
+    max_events:
+        Cumulative event budget for the simulation (``None`` = unlimited).
+    max_wall_s:
+        Wall-clock budget, measured from the first ``run()`` after the
+        watchdog is installed (``None`` = unlimited).
+    check_interval:
+        Events between wall-clock reads; the event budget is checked on
+        every event.  Keeps the per-event cost to integer compares.
+    """
+
+    max_events: Optional[int] = None
+    max_wall_s: Optional[float] = None
+    check_interval: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError(f"max_events must be >= 1: {self.max_events}")
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ValueError(f"max_wall_s must be positive: {self.max_wall_s}")
+        if self.check_interval < 1:
+            raise ValueError(f"check_interval must be >= 1: {self.check_interval}")
+
+
+class SimWatchdog:
+    """Opt-in runaway-simulation guard for :class:`Simulator`.
+
+    Installed via :meth:`Simulator.install_watchdog`; the engine then
+    calls :meth:`check` once per executed event and raises
+    :class:`SimulationStalled` when either budget is exhausted.  When no
+    watchdog is installed the engine pays a single ``is None`` test per
+    event.
+    """
+
+    __slots__ = ("config", "_wall_started", "_wall_countdown")
+
+    def __init__(self, config: Optional[WatchdogConfig] = None) -> None:
+        self.config = config or WatchdogConfig()
+        self._wall_started: Optional[float] = None
+        self._wall_countdown = self.config.check_interval
+
+    def arm(self) -> None:
+        """Start the wall clock (idempotent; first ``run()`` calls this)."""
+        if self._wall_started is None:
+            self._wall_started = _time.perf_counter()
+
+    @property
+    def wall_elapsed_s(self) -> float:
+        """Wall seconds since the watchdog was armed (0 before arming)."""
+        if self._wall_started is None:
+            return 0.0
+        return _time.perf_counter() - self._wall_started
+
+    def check(self, sim: "Simulator") -> None:
+        """Raise :class:`SimulationStalled` if a budget is exhausted."""
+        cfg = self.config
+        if cfg.max_events is not None and sim.events_processed >= cfg.max_events:
+            raise SimulationStalled(
+                "max_events",
+                cfg.max_events,
+                sim.events_processed,
+                self.wall_elapsed_s,
+                sim.now,
+            )
+        if cfg.max_wall_s is not None:
+            self._wall_countdown -= 1
+            if self._wall_countdown <= 0:
+                self._wall_countdown = cfg.check_interval
+                elapsed = self.wall_elapsed_s
+                if elapsed > cfg.max_wall_s:
+                    raise SimulationStalled(
+                        "max_wall_s",
+                        cfg.max_wall_s,
+                        sim.events_processed,
+                        elapsed,
+                        sim.now,
+                    )
 
 
 class EventHandle:
@@ -142,6 +271,7 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._profile: Optional[SimProfile] = None
+        self._watchdog: Optional[SimWatchdog] = None
 
     @property
     def now(self) -> float:
@@ -168,6 +298,20 @@ class Simulator:
         if self._profile is None:
             self._profile = SimProfile()
         return self._profile
+
+    @property
+    def watchdog(self) -> Optional[SimWatchdog]:
+        """The installed :class:`SimWatchdog`, or None when unguarded."""
+        return self._watchdog
+
+    def install_watchdog(self, watchdog: SimWatchdog) -> SimWatchdog:
+        """Guard subsequent ``run()`` calls with ``watchdog``."""
+        self._watchdog = watchdog
+        return watchdog
+
+    def remove_watchdog(self) -> None:
+        """Stop enforcing watchdog limits."""
+        self._watchdog = None
 
     def schedule(
         self,
@@ -247,10 +391,17 @@ class Simulator:
         entries = self._entries
         pop = heapq.heappop
         executed = 0
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.arm()
         try:
             while heap:
                 if max_events is not None and executed >= max_events:
                     break
+                if watchdog is not None:
+                    # Checked before the pop so a raised SimulationStalled
+                    # never discards the event it interrupted.
+                    watchdog.check(self)
                 item = pop(heap)
                 entry = entries.pop(item[1], None)
                 if entry is None:

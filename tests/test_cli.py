@@ -116,4 +116,4 @@ class TestSweepCommand:
         assert main(self.MINI + ["--cache-dir", cache_dir]) == 0
         capsys.readouterr()
         assert main(self.MINI + ["--cache-dir", cache_dir]) == 0
-        assert "cache hits=2" in capsys.readouterr().out
+        assert "cached=2" in capsys.readouterr().out
