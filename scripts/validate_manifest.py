@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts produced by a sweep or run.
+
+Usage:
+    python scripts/validate_manifest.py MANIFEST.json [TRACE.jsonl]
+
+Checks the manifest against the repro-telemetry-manifest/1 schema,
+optionally sanity-checks a JSONL trace (header line plus well-formed
+records), prints a short summary, and exits nonzero on any problem —
+the CI telemetry-smoke job gates on this.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.telemetry.manifest import (  # noqa: E402
+    load_manifest,
+    summarize_manifest,
+    validate_manifest,
+)
+
+
+def check_trace(path: str) -> list:
+    """Structural checks on a JSONL trace file; returns error strings."""
+    errors = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return [f"{path}: empty trace file"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"{path}: header is not JSON: {exc}"]
+    if header.get("kind") != "header":
+        errors.append(f"{path}: first line is not a trace header")
+    for key in ("emitted", "evicted", "capacity"):
+        if not isinstance(header.get(key), int):
+            errors.append(f"{path}: header missing integer '{key}'")
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{number}: not JSON: {exc}")
+            continue
+        if "name" not in record or "kind" not in record:
+            errors.append(f"{path}:{number}: record lacks name/kind")
+        if "wall_time" not in record:
+            errors.append(f"{path}:{number}: record lacks wall_time")
+    expected = min(header.get("emitted", 0), header.get("capacity", 0))
+    if isinstance(expected, int) and len(lines) - 1 != expected:
+        errors.append(
+            f"{path}: header promises {expected} record(s), found {len(lines) - 1}"
+        )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("manifest", help="manifest.json to validate")
+    parser.add_argument("trace", nargs="?", help="optional trace.jsonl to validate")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary on success"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL {args.manifest}: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_manifest(manifest)
+    if args.trace:
+        errors += check_trace(args.trace)
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(summarize_manifest(manifest))
+    print(f"OK {args.manifest}" + (f" + {args.trace}" if args.trace else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,12 @@ without writing Python:
 - ``repro-phi incremental`` — the Figure-4 partial deployment;
 - ``repro-phi sweep`` — the Table-2 grid sweep via the parallel runner;
 - ``repro-phi ipfix`` — the Section-2.1 sharing analysis;
-- ``repro-phi diagnose`` — the Figure-5 outage detection pipeline.
+- ``repro-phi diagnose`` — the Figure-5 outage detection pipeline;
+- ``repro-phi telemetry summarize`` — render a run manifest as a table.
+
+``cubic``, ``phi``, and ``sweep`` accept ``--metrics-out manifest.json``
+(telemetry run manifest: merged metrics, per-point provenance) and
+``--trace-out trace.jsonl`` (sim/wall-time trace).
 
 Examples::
 
@@ -21,10 +26,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 import numpy as np
 
+from . import telemetry
 from .diagnosis import (
     OutageSpec,
     TelemetryConfig,
@@ -56,10 +63,36 @@ from .runner import (
     bench_entry,
 )
 from .simnet.engine import WatchdogConfig
+from .telemetry.manifest import (
+    load_manifest,
+    run_manifest,
+    summarize_manifest,
+    sweep_manifest,
+    write_manifest,
+)
 from .transport import CubicParams
 from .transport.cubic import cubic_sweep_grid
 
 PRESETS = {preset.name: preset for preset in ALL_PRESETS}
+
+
+def _telemetry_wanted(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None) or getattr(args, "trace_out", None)
+    )
+
+
+def _write_telemetry_outputs(
+    args: argparse.Namespace,
+    tele: "telemetry.TelemetrySession",
+    manifest: dict,
+) -> None:
+    if args.metrics_out:
+        write_manifest(manifest, args.metrics_out)
+        print(f"telemetry manifest: {args.metrics_out}")
+    if args.trace_out:
+        retained = tele.tracer.dump_jsonl(args.trace_out)
+        print(f"telemetry trace: {args.trace_out} ({retained} record(s))")
 
 
 def _preset_or_exit(name: str):
@@ -105,7 +138,27 @@ def _cubic_params(args: argparse.Namespace) -> CubicParams:
 def cmd_cubic(args: argparse.Namespace) -> int:
     preset = _preset_or_exit(args.preset)
     params = _cubic_params(args)
-    result = run_cubic_fixed(params, preset, seed=args.seed, duration_s=args.duration)
+    with ExitStack() as stack:
+        tele = None
+        if _telemetry_wanted(args):
+            tele = stack.enter_context(telemetry.use())
+        result = run_cubic_fixed(
+            params, preset, seed=args.seed, duration_s=args.duration
+        )
+        if tele is not None:
+            _write_telemetry_outputs(
+                args,
+                tele,
+                run_manifest(
+                    command="cubic",
+                    preset_name=preset.name,
+                    seed=args.seed,
+                    duration_s=args.duration or preset.duration_s,
+                    metrics=tele.registry.snapshot(),
+                    result=result,
+                    extra_config={"params": params.as_dict()},
+                ),
+            )
     _print_metrics(f"cubic wI={params.window_init:.0f} "
                    f"ssthr={params.initial_ssthresh:.0f} beta={params.beta}", result)
     return 0
@@ -114,9 +167,27 @@ def cmd_cubic(args: argparse.Namespace) -> int:
 def cmd_phi(args: argparse.Namespace) -> int:
     preset = _preset_or_exit(args.preset)
     mode = SharingMode(args.mode)
-    result = run_phi_cubic(
-        REFERENCE_POLICY, preset, mode, seed=args.seed, duration_s=args.duration
-    )
+    with ExitStack() as stack:
+        tele = None
+        if _telemetry_wanted(args):
+            tele = stack.enter_context(telemetry.use())
+        result = run_phi_cubic(
+            REFERENCE_POLICY, preset, mode, seed=args.seed, duration_s=args.duration
+        )
+        if tele is not None:
+            _write_telemetry_outputs(
+                args,
+                tele,
+                run_manifest(
+                    command="phi",
+                    preset_name=preset.name,
+                    seed=args.seed,
+                    duration_s=args.duration or preset.duration_s,
+                    metrics=tele.registry.snapshot(),
+                    result=result,
+                    extra_config={"mode": mode.value},
+                ),
+            )
     _print_metrics(f"cubic-phi ({mode.value})", result)
     return 0
 
@@ -188,15 +259,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         resilience=_sweep_resilience(args),
         watchdog=_sweep_watchdog(args),
     )
-    parallel_outcome = run_parameter_sweep(
-        preset,
-        grid,
-        n_workers=args.workers,
-        progress=progress,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        **common,
-    )
+    with ExitStack() as stack:
+        tele = None
+        if _telemetry_wanted(args):
+            tele = stack.enter_context(telemetry.use())
+        parallel_outcome = run_parameter_sweep(
+            preset,
+            grid,
+            n_workers=args.workers,
+            progress=progress,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            **common,
+        )
+        if tele is not None:
+            # One combined snapshot: the runner's own metrics (cache,
+            # retries, per-point wall times) plus the deterministic merge
+            # of every worker's simulation metrics.
+            snapshots = [tele.registry.snapshot()]
+            if parallel_outcome.telemetry is not None:
+                snapshots.append(parallel_outcome.telemetry)
+            _write_telemetry_outputs(
+                args,
+                tele,
+                sweep_manifest(
+                    parallel_outcome,
+                    metrics=telemetry.merge_snapshots(snapshots),
+                    command="sweep",
+                    extra_config={"grid_points": len(grid)},
+                ),
+            )
     for quarantined in parallel_outcome.quarantined:
         print(f"QUARANTINED: {quarantined.describe()}", file=sys.stderr)
     serial_outcome = None
@@ -266,6 +358,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_manifest(manifest, max_points=args.max_points))
+    return 0
+
+
 def cmd_ipfix(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     model = EgressTrafficModel(TrafficModelConfig(), rng)
@@ -319,11 +421,18 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_presets
     )
 
+    def add_telemetry_args(p):
+        p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       help="write a telemetry run manifest (JSON) here")
+        p.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="write the sim/wall-time trace (JSONL) here")
+
     def add_run_args(p, with_params=True):
         p.add_argument("--preset", default="table3-remy")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--duration", type=float, default=None,
                        help="simulated seconds (default: preset duration)")
+        add_telemetry_args(p)
         if with_params:
             p.add_argument("--window-init", type=float, default=2.0,
                            dest="window_init")
@@ -385,7 +494,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append timings to this BENCH trajectory file")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the progress line")
+    add_telemetry_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="inspect telemetry artifacts"
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    summarize = telemetry_sub.add_parser(
+        "summarize", help="render a human table from a run manifest"
+    )
+    summarize.add_argument("manifest", help="path to a manifest JSON file")
+    summarize.add_argument("--max-points", type=int, default=24,
+                           help="per-point rows to show (default 24)")
+    summarize.set_defaults(func=cmd_telemetry_summarize)
 
     ipfix = sub.add_parser("ipfix", help="Section-2.1 sharing analysis")
     ipfix.add_argument("--minutes", type=int, default=3)

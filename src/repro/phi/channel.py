@@ -29,6 +29,8 @@ from enum import Enum
 from typing import Any, Callable, Optional
 
 from ..simnet.engine import Simulator
+from ..telemetry import LATENCY_BUCKETS_S
+from ..telemetry import session as _telemetry_session
 from .context import CongestionContext
 from .server import ConnectionReport
 
@@ -174,8 +176,21 @@ class CircuitBreaker:
             self._state is BreakerState.OPEN
             and self._now() - self._opened_at >= self.reset_timeout_s
         ):
-            self._state = BreakerState.HALF_OPEN
+            self._set_state(BreakerState.HALF_OPEN)
         return self._state
+
+    def _set_state(self, new_state: BreakerState) -> None:
+        """Single funnel for state changes, so every edge is countable."""
+        if new_state is self._state:
+            return
+        tele = _telemetry_session()
+        if tele.enabled:
+            tele.registry.counter(
+                "phi.breaker_transitions",
+                from_state=self._state.value,
+                to_state=new_state.value,
+            ).inc()
+        self._state = new_state
 
     def allow(self) -> bool:
         """Whether a call may reach the server right now."""
@@ -183,7 +198,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self._state = BreakerState.CLOSED
+        self._set_state(BreakerState.CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -193,7 +208,7 @@ class CircuitBreaker:
         ):
             if self._state is not BreakerState.OPEN:
                 self.trips += 1
-            self._state = BreakerState.OPEN
+            self._set_state(BreakerState.OPEN)
             self._opened_at = self._now()
             self._consecutive_failures = 0
 
@@ -298,11 +313,11 @@ class ControlChannel:
     # ------------------------------------------------------------------
     def call_lookup(self) -> RpcResult:
         """Connection-start lookup as a fallible RPC."""
-        return self._call(self.backend.lookup)
+        return self._call(self.backend.lookup, op="lookup")
 
     def call_report(self, report: ConnectionReport) -> RpcResult:
         """Connection-end report as a fallible RPC."""
-        return self._call(lambda: self.backend.report(report))
+        return self._call(lambda: self.backend.report(report), op="report")
 
     def lookup(self) -> CongestionContext:
         """ContextSource-compatible lookup; raises :class:`RpcError`."""
@@ -330,16 +345,38 @@ class ControlChannel:
             latency += float(self.rng.uniform(0.0, self.config.jitter_s))
         return latency
 
-    def _call(self, fn: Callable[[], Any]) -> RpcResult:
+    def _finish(self, result: RpcResult, op: str) -> RpcResult:
+        """Account one terminal RPC outcome (stats and telemetry)."""
+        self.stats.record(result)
+        tele = _telemetry_session()
+        if tele.enabled:
+            registry = tele.registry
+            registry.counter("phi.rpc_calls", op=op, status=result.status.value).inc()
+            if result.attempts > 1:
+                registry.counter("phi.rpc_retries", op=op).inc(result.attempts - 1)
+            registry.histogram("phi.rpc_latency_s", LATENCY_BUCKETS_S, op=op).observe(
+                result.elapsed_s
+            )
+            if not result.ok:
+                tele.tracer.event(
+                    "phi.rpc_failure",
+                    sim_time=self.sim.now,
+                    op=op,
+                    status=result.status.value,
+                    attempts=result.attempts,
+                )
+        return result
+
+    def _call(self, fn: Callable[[], Any], op: str = "call") -> RpcResult:
         cfg = self.config
         elapsed = 0.0
         attempts = 0
         last_status = RpcStatus.TIMEOUT
         while True:
             if not self.breaker.allow():
-                result = RpcResult(RpcStatus.CIRCUIT_OPEN, attempts, elapsed)
-                self.stats.record(result)
-                return result
+                return self._finish(
+                    RpcResult(RpcStatus.CIRCUIT_OPEN, attempts, elapsed), op
+                )
             attempts += 1
             if not self.server_up:
                 # Request goes unanswered: the attempt burns a timeout.
@@ -360,9 +397,9 @@ class ControlChannel:
                     elapsed += latency
                     self.breaker.record_success()
                     value = fn()
-                    result = RpcResult(RpcStatus.OK, attempts, elapsed, value)
-                    self.stats.record(result)
-                    return result
+                    return self._finish(
+                        RpcResult(RpcStatus.OK, attempts, elapsed, value), op
+                    )
             # Retry, if both the attempt count and the deadline allow a
             # worst-case (backoff + full timeout) follow-up attempt.
             if attempts > cfg.max_retries:
@@ -372,6 +409,4 @@ class ControlChannel:
                 last_status = RpcStatus.DEADLINE_EXCEEDED
                 break
             elapsed += backoff
-        result = RpcResult(last_status, attempts, elapsed)
-        self.stats.record(result)
-        return result
+        return self._finish(RpcResult(last_status, attempts, elapsed), op)

@@ -31,6 +31,7 @@ from typing import Callable, Deque, Dict, Optional
 from ..simnet.engine import Simulator
 from ..simnet.node import Host
 from ..simnet.packet import FlowSpec
+from ..telemetry import session as _telemetry_session
 from ..transport.base import TcpSender
 from ..transport.cubic import CubicParams, CubicSender
 from .context import CongestionContext
@@ -107,6 +108,41 @@ class ResilientContextClient:
         self.reports_queued = 0
         self.reports_dropped = 0
         self.reports_flushed = 0
+        self._mode: Optional[ContextDecision] = None
+        self._mode_since = now()
+        self.mode_time_s: Dict[str, float] = {d.value: 0.0 for d in ContextDecision}
+
+    def _decide(self, decision: ContextDecision) -> None:
+        """Count a decision and charge sim time to the mode it ends."""
+        self.decisions[decision] += 1
+        now = self.now()
+        if self._mode is not None:
+            elapsed = now - self._mode_since
+            self.mode_time_s[self._mode.value] += elapsed
+            if elapsed > 0:
+                tele = _telemetry_session()
+                if tele.enabled:
+                    tele.registry.counter(
+                        "phi.mode_time_s", mode=self._mode.value
+                    ).inc(elapsed)
+        self._mode = decision
+        self._mode_since = now
+        tele = _telemetry_session()
+        if tele.enabled:
+            tele.registry.counter(
+                "phi.context_decisions", decision=decision.value
+            ).inc()
+
+    def mode_times(self) -> Dict[str, float]:
+        """Sim seconds spent in each decision mode, including the current one.
+
+        A mode starts at the decision that selects it and ends at the next
+        decision; the client is in no mode before its first lookup.
+        """
+        times = dict(self.mode_time_s)
+        if self._mode is not None:
+            times[self._mode.value] += self.now() - self._mode_since
+        return times
 
     # ------------------------------------------------------------------
     # Lookup with degradation
@@ -119,7 +155,7 @@ class ResilientContextClient:
             return self._degraded()
         self._cached = context
         self._cached_at = self.now()
-        self.decisions[ContextDecision.FRESH] += 1
+        self._decide(ContextDecision.FRESH)
         self._flush_pending()
         return ResolvedContext(ContextDecision.FRESH, context)
 
@@ -127,9 +163,9 @@ class ResilientContextClient:
         if self._cached is not None:
             age = self.now() - self._cached_at
             if age <= self.staleness_ttl_s:
-                self.decisions[ContextDecision.STALE] += 1
+                self._decide(ContextDecision.STALE)
                 return ResolvedContext(ContextDecision.STALE, self._cached, age)
-        self.decisions[ContextDecision.FALLBACK] += 1
+        self._decide(ContextDecision.FALLBACK)
         return ResolvedContext(ContextDecision.FALLBACK, None)
 
     def lookup(self) -> CongestionContext:

@@ -27,11 +27,22 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from .. import telemetry as _telemetry
 from ..phi.optimizer import SweepResult
 from ..simnet.engine import WatchdogConfig
+from ..telemetry.registry import LATENCY_BUCKETS_S, merge_snapshots
 from ..transport.cubic import CubicParams
 from .cache import MemoryCache
 from .checkpoint import SweepJournal
@@ -41,6 +52,7 @@ from .progress import ProgressReporter, SweepProgress
 from .records import PointResult, flow_records
 from .resilience import (
     ExecutionReport,
+    PointFailure,
     QuarantinedPoint,
     ResilienceConfig,
     SweepSupervisor,
@@ -57,12 +69,16 @@ class SweepSpec:
     ``watchdog`` optionally bounds every point's simulation (max events
     / max wall seconds); it can abort a runaway run but never alters the
     trajectory of one that finishes, so it is deliberately *excluded*
-    from cache keys.
+    from cache keys.  ``collect_telemetry`` likewise: workers then run
+    each point under a private telemetry session and ship the metrics
+    snapshot back on the result, which observes the simulation without
+    perturbing it.
     """
 
     preset: "ScenarioPreset"
     duration_s: Optional[float] = None
     watchdog: Optional[WatchdogConfig] = None
+    collect_telemetry: bool = False
 
     @property
     def effective_duration_s(self) -> float:
@@ -107,13 +123,28 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
         maybe_inject_fault(point)
 
     started = time.perf_counter()
-    result = run_cubic_fixed(
-        point.params,
-        spec.preset,
-        seed=point.seed,
-        duration_s=spec.duration_s,
-        watchdog=spec.watchdog,
-    )
+    snapshot: Optional[Dict[str, Any]] = None
+    if spec.collect_telemetry:
+        # A private session per point: worker processes don't share
+        # memory with the parent, so metrics travel by value on the
+        # result and are merged deterministically at the by-index merge.
+        with _telemetry.use() as tele:
+            result = run_cubic_fixed(
+                point.params,
+                spec.preset,
+                seed=point.seed,
+                duration_s=spec.duration_s,
+                watchdog=spec.watchdog,
+            )
+            snapshot = tele.registry.snapshot()
+    else:
+        result = run_cubic_fixed(
+            point.params,
+            spec.preset,
+            seed=point.seed,
+            duration_s=spec.duration_s,
+            watchdog=spec.watchdog,
+        )
     wall = time.perf_counter() - started
     return PointResult(
         key=point.key(spec),
@@ -127,6 +158,7 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
         duration_s=spec.effective_duration_s,
         events_processed=result.events_processed,
         wall_seconds=wall,
+        telemetry=snapshot,
     )
 
 
@@ -151,6 +183,15 @@ class SweepOutcome:
     pool_rebuilds: int = 0
     serial_fallback: bool = False
     quarantined: List[QuarantinedPoint] = field(default_factory=list)
+    #: Where each surviving point's result came from, keyed by point key:
+    #: "computed" | "cached" | "resumed".
+    provenance: Dict[str, str] = field(default_factory=dict)
+    #: Failed attempts keyed by point key (retried-then-survived and
+    #: quarantined points alike; quarantined entries also carry theirs).
+    failure_history: Dict[str, Tuple[PointFailure, ...]] = field(default_factory=dict)
+    #: Deterministic merge of the per-worker metric snapshots (None when
+    #: the sweep ran without telemetry collection).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def total_events(self) -> int:
@@ -293,6 +334,12 @@ class SweepRunner:
         parallel: bool = True,
     ) -> SweepOutcome:
         """Evaluate the whole grid; returns results in launch order."""
+        tele = _telemetry.session()
+        if tele.enabled and not self.spec.collect_telemetry:
+            # Telemetry is live in this process: have workers collect
+            # per-point snapshots too.  Excluded from cache keys, so
+            # this cannot invalidate previously-cached results.
+            self.spec = replace(self.spec, collect_telemetry=True)
         grid = list(grid)
         tasks = self.tasks(grid, n_runs, base_seed)
         started = time.perf_counter()
@@ -316,19 +363,24 @@ class SweepRunner:
 
         results: List[Optional[PointResult]] = [None] * len(tasks)
         pending: List[Tuple[int, SweepPoint]] = []
+        key_by_index: List[str] = []
+        provenance: Dict[str, str] = {}
         cache_hits = 0
         checkpoint_hits = 0
         for index, task in enumerate(tasks):
             key = task.key(self.spec)
+            key_by_index.append(key)
             checkpointed = restored.get(key)
             if checkpointed is not None:
                 results[index] = checkpointed
                 checkpoint_hits += 1
+                provenance[key] = "resumed"
                 continue
             cached = self.cache.get(key)
             if cached is not None:
                 results[index] = cached
                 cache_hits += 1
+                provenance[key] = "cached"
                 if journal is not None:
                     # Journal cache hits too: a resume must not depend on
                     # the cache still existing (or still being trusted).
@@ -354,10 +406,26 @@ class SweepRunner:
         )
 
         def deliver(index: int, result: PointResult) -> None:
-            self.cache.put(result)
+            # Cache entries never carry telemetry snapshots: DiskCache
+            # drops them on serialization (to_dict excludes the field),
+            # so strip them for MemoryCache too — cached points behave
+            # identically whichever backend served them.
+            if result.telemetry is None:
+                self.cache.put(result)
+            else:
+                self.cache.put(replace(result, telemetry=None))
             if journal is not None:
                 journal.append(result)
             results[index] = result
+            provenance[result.key] = "computed"
+            if tele.enabled:
+                tele.tracer.event(
+                    "runner.point_done",
+                    sim_time=result.duration_s,
+                    index=index,
+                    seed=result.seed,
+                    wall_s=result.wall_seconds,
+                )
             progress_state.completed += 1
             progress_state.recomputed += 1
             sync_supervision()
@@ -386,6 +454,39 @@ class SweepRunner:
         if len(merged) + report.quarantined_count != len(tasks):
             # pragma: no cover - defensive
             raise RuntimeError("sweep lost results during merge")
+
+        failure_history = {
+            key_by_index[index]: tuple(failures)
+            for index, failures in sorted(report.failure_history.items())
+        }
+        merged_telemetry: Optional[Dict[str, Any]] = None
+        if self.spec.collect_telemetry:
+            # Index order (not completion order) keeps the merged
+            # snapshot bit-identical between serial and parallel runs.
+            merged_telemetry = merge_snapshots(
+                result.telemetry for result in merged
+                if result.telemetry is not None
+            )
+        if tele.enabled:
+            registry = tele.registry
+            registry.counter("runner.cache_hits").inc(cache_hits)
+            registry.counter("runner.cache_misses").inc(len(pending))
+            registry.counter("runner.checkpoint_reused").inc(checkpoint_hits)
+            registry.counter("runner.retries").inc(report.retries)
+            registry.counter("runner.pool_rebuilds").inc(report.pool_rebuilds)
+            wall_histogram = registry.histogram(
+                "runner.point_wall_s", LATENCY_BUCKETS_S
+            )
+            for result in merged:
+                wall_histogram.observe(result.wall_seconds)
+            tele.tracer.event(
+                "runner.sweep_complete",
+                points=len(merged),
+                wall_s=wall,
+                retries=report.retries,
+                quarantined=report.quarantined_count,
+            )
+
         return SweepOutcome(
             spec=self.spec,
             points=merged,
@@ -399,6 +500,9 @@ class SweepRunner:
             pool_rebuilds=report.pool_rebuilds,
             serial_fallback=report.serial_fallback,
             quarantined=list(report.quarantined),
+            provenance=provenance,
+            failure_history=failure_history,
+            telemetry=merged_telemetry,
         )
 
     def run_serial(

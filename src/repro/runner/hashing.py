@@ -20,7 +20,9 @@ from ..workload.onoff import OnOffConfig
 
 #: Bump on any change that alters simulation trajectories (event ordering,
 #: queue accounting, transport behaviour, workload draws ...).
-ENGINE_SIGNATURE = "phi-simnet-v2-tuple-heap"
+#: v3: LinkMonitor samples on a drift-free epoch + k*period grid, which
+#: moves sample times (and hence mean_utilization) at float-ulp scale.
+ENGINE_SIGNATURE = "phi-simnet-v3-monitor-grid"
 
 
 def canonical_json(payload: Any) -> str:

@@ -9,8 +9,8 @@ lets the determinism tests compare serial and parallel runs with ``==``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..metrics.summary import RunMetrics
 from ..transport.base import ConnectionStats
@@ -111,6 +111,12 @@ class PointResult:
     duration_s: float
     events_processed: int
     wall_seconds: float
+    #: Worker-side metrics snapshot (when the sweep collects telemetry).
+    #: Observability sidecar, not simulation output: excluded from
+    #: equality, from ``to_dict`` (cache/journal), and from
+    #: ``identical_to``, so telemetry can never perturb determinism
+    #: checks or cached results.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def identical_to(self, other: "PointResult") -> bool:
         """Bit-identical simulation outcome (wall time excluded).

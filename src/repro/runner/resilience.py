@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..simnet.engine import SimulationStalled
+from ..telemetry import session as _telemetry_session
 from .records import PointResult
 
 
@@ -168,6 +169,10 @@ class ExecutionReport:
     pool_rebuilds: int = 0
     serial_fallback: bool = False
     quarantined: List[QuarantinedPoint] = field(default_factory=list)
+    #: Every failed attempt keyed by task index — including points that
+    #: later succeeded, which ``quarantined`` alone cannot show.  This is
+    #: the per-point retry provenance run manifests report.
+    failure_history: Dict[int, List[PointFailure]] = field(default_factory=dict)
 
     @property
     def quarantined_count(self) -> int:
@@ -253,9 +258,14 @@ class SweepSupervisor:
         """Charge one failed attempt; requeue with backoff or quarantine."""
         retry = self.config.retry
         slot.attempts += 1
-        slot.failures.append(PointFailure(kind, message, slot.attempts))
+        failure = PointFailure(kind, message, slot.attempts)
+        slot.failures.append(failure)
         report = self.report
         report.failures += 1
+        report.failure_history.setdefault(slot.index, []).append(failure)
+        tele = _telemetry_session()
+        if tele.enabled:
+            tele.registry.counter("runner.point_failures", kind=kind).inc()
         if kind == "crash":
             report.crashes += 1
         elif kind == "timeout":
@@ -274,6 +284,8 @@ class SweepSupervisor:
                     failures=tuple(slot.failures),
                 )
             )
+            if tele.enabled:
+                tele.registry.counter("runner.quarantined").inc()
         else:
             slot.backoff_spent += backoff
             slot.eligible_at = now + backoff

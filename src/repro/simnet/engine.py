@@ -25,6 +25,8 @@ import time as _time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import session as _telemetry_session
+
 
 class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
@@ -136,6 +138,7 @@ class SimWatchdog:
         """Raise :class:`SimulationStalled` if a budget is exhausted."""
         cfg = self.config
         if cfg.max_events is not None and sim.events_processed >= cfg.max_events:
+            self._record_trip("max_events", sim)
             raise SimulationStalled(
                 "max_events",
                 cfg.max_events,
@@ -149,6 +152,7 @@ class SimWatchdog:
                 self._wall_countdown = cfg.check_interval
                 elapsed = self.wall_elapsed_s
                 if elapsed > cfg.max_wall_s:
+                    self._record_trip("max_wall_s", sim)
                     raise SimulationStalled(
                         "max_wall_s",
                         cfg.max_wall_s,
@@ -156,6 +160,17 @@ class SimWatchdog:
                         elapsed,
                         sim.now,
                     )
+
+    def _record_trip(self, reason: str, sim: "Simulator") -> None:
+        tele = _telemetry_session()
+        if tele.enabled:
+            tele.registry.counter("sim.watchdog_trips", reason=reason).inc()
+            tele.tracer.event(
+                "sim.watchdog_trip",
+                sim_time=sim.now,
+                reason=reason,
+                events_processed=sim.events_processed,
+            )
 
 
 class EventHandle:
@@ -422,6 +437,17 @@ class Simulator:
                 profile.run_calls += 1
                 profile.wall_seconds += _time.perf_counter() - started
                 profile.events += self._events_processed - events_before
+            # Telemetry is charged once per run() call, not per event, so
+            # the hot loop above stays untouched (the <=2% overhead budget).
+            tele = _telemetry_session()
+            if tele.enabled:
+                registry = tele.registry
+                registry.counter("sim.events").inc(
+                    self._events_processed - events_before
+                )
+                registry.counter("sim.run_calls").inc()
+                registry.gauge("sim.pending_events").set(len(entries))
+                registry.gauge("sim.clock_s").set(self._now)
         if until is not None and self._now < until:
             next_time = self.peek_time()
             if next_time is None or next_time > until:

@@ -13,6 +13,9 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional
 from collections import deque
 
+from ..telemetry import DEFAULT_BUCKETS, UTILIZATION_BUCKETS
+from ..telemetry import mean as _mean
+from ..telemetry import session as _telemetry_session
 from .engine import Simulator
 from .link import Link
 
@@ -55,13 +58,21 @@ class LinkMonitor:
             link.queue.stats.enqueued_packets + link.queue.stats.dropped_packets
         )
         self._started = False
+        self._epoch = 0.0
+        self._ticks = 0
 
     def start(self) -> None:
         """Begin periodic sampling (idempotent)."""
         if self._started:
             return
         self._started = True
-        self.sim.schedule(self.period_s, self._sample)
+        # Sample times are computed as epoch + k*period (one rounding per
+        # tick) rather than by repeatedly adding the period, so a
+        # week-long simulation does not accumulate float drift in its
+        # sampling grid.
+        self._epoch = self.sim.now
+        self._ticks = 1
+        self.sim.schedule_at(self._epoch + self.period_s, self._sample)
 
     def _sample(self) -> None:
         stats = self.link.queue.stats
@@ -88,28 +99,36 @@ class LinkMonitor:
         self._last_bytes = bytes_now
         self._last_drops = drops_now
         self._last_arrivals = arrivals_now
-        self.sim.schedule(self.period_s, self._sample)
+
+        tele = _telemetry_session()
+        if tele.enabled:
+            registry = tele.registry
+            link_name = self.link.name
+            registry.histogram(
+                "link.utilization", UTILIZATION_BUCKETS, link=link_name
+            ).observe(utilization)
+            registry.histogram(
+                "link.queue_depth_pkts", DEFAULT_BUCKETS, link=link_name
+            ).observe(self.link.queue.packets_queued)
+            if interval_drops:
+                registry.counter("link.drops", link=link_name).inc(interval_drops)
+
+        self._ticks += 1
+        self.sim.schedule_at(self._epoch + self._ticks * self.period_s, self._sample)
 
     def current_utilization(self, window: int = 10) -> float:
         """Mean utilization over the last ``window`` samples."""
-        if not self.samples:
-            return 0.0
         recent = list(self.samples)[-window:]
-        return sum(sample.utilization for sample in recent) / len(recent)
+        return _mean([sample.utilization for sample in recent])
 
     def current_queue_bytes(self, window: int = 10) -> float:
         """Mean queue occupancy (bytes) over the last ``window`` samples."""
-        if not self.samples:
-            return 0.0
         recent = list(self.samples)[-window:]
-        return sum(sample.queue_bytes for sample in recent) / len(recent)
+        return _mean([sample.queue_bytes for sample in recent])
 
     def mean_utilization(self, since: float = 0.0) -> float:
         """Mean utilization across all samples taken at or after ``since``."""
-        relevant = [s.utilization for s in self.samples if s.time >= since]
-        if not relevant:
-            return 0.0
-        return sum(relevant) / len(relevant)
+        return _mean([s.utilization for s in self.samples if s.time >= since])
 
     def utilization_series(self) -> List[LinkSample]:
         """The full retained sample history, oldest first."""

@@ -1,0 +1,148 @@
+"""Unified telemetry: metrics registry, sim-time tracing, run manifests.
+
+The paper's operator runs the network by *observing* it (§2.1 IPFIX
+aggregation, Fig. 5 diagnosis); this package gives the reproduction the
+same property about itself.  One process-wide :class:`TelemetrySession`
+holds the active :class:`~repro.telemetry.registry.MetricsRegistry` and
+:class:`~repro.telemetry.trace.Tracer`; instrumentation sites throughout
+the engine, Phi control plane, and sweep runner fetch it via
+:func:`session` and check ``.enabled``.
+
+Telemetry is **off by default**.  Disabled, the session holds a
+:class:`~repro.telemetry.registry.NullRegistry` and
+:class:`~repro.telemetry.trace.NullTracer` whose operations are empty
+method calls on shared singletons — the hot path pays essentially
+nothing (see ``benchmarks/test_bench_telemetry.py``).  Enable it
+process-wide with :func:`enable` (the CLI does this when given
+``--metrics-out``/``--trace-out``) or scoped with :func:`use`::
+
+    from repro import telemetry
+
+    with telemetry.use() as tele:
+        run_cubic_experiment(...)
+        snapshot = tele.registry.snapshot()
+
+Sweep workers each build their own session (processes don't share
+memory); the runner merges their snapshots at its deterministic
+by-index merge point via
+:func:`~repro.telemetry.registry.merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    UTILIZATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    flat_key,
+    histogram_percentile,
+    mean,
+    merge_snapshots,
+)
+from .trace import NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "TelemetrySession",
+    "Tracer",
+    "UTILIZATION_BUCKETS",
+    "disable",
+    "enable",
+    "flat_key",
+    "histogram_percentile",
+    "mean",
+    "merge_snapshots",
+    "session",
+    "use",
+]
+
+
+class TelemetrySession:
+    """The pair of collectors instrumentation writes to."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer) -> None:
+        self.registry = registry
+        self.tracer = tracer
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def clear(self) -> None:
+        self.registry.clear()
+        self.tracer.clear()
+
+
+#: The shared disabled session — module-level so `session()` never allocates.
+_DISABLED = TelemetrySession(NullRegistry(), NullTracer())
+_active: TelemetrySession = _DISABLED
+
+
+def session() -> TelemetrySession:
+    """The currently active session (disabled no-op by default)."""
+    return _active
+
+
+def enable(
+    *,
+    trace_capacity: int = 65536,
+    fresh: Optional[TelemetrySession] = None,
+) -> TelemetrySession:
+    """Switch the process to a live session and return it.
+
+    Idempotent in spirit: enabling while already enabled keeps the
+    existing live session (so accumulated metrics survive) unless a
+    ``fresh`` session is passed explicitly.
+    """
+    global _active
+    if fresh is not None:
+        _active = fresh
+    elif not _active.enabled:
+        _active = TelemetrySession(MetricsRegistry(), Tracer(trace_capacity))
+    return _active
+
+
+def disable() -> None:
+    """Return the process to the shared no-op session."""
+    global _active
+    _active = _DISABLED
+
+
+@contextmanager
+def use(
+    session_to_use: Optional[TelemetrySession] = None,
+    *,
+    trace_capacity: int = 65536,
+) -> Iterator[TelemetrySession]:
+    """Scoped telemetry: activate a (new or given) session, restore after.
+
+    This is what sweep workers use around a single point evaluation so
+    each point's metrics land in an isolated registry.
+    """
+    global _active
+    previous = _active
+    chosen = session_to_use or TelemetrySession(
+        MetricsRegistry(), Tracer(trace_capacity)
+    )
+    _active = chosen
+    try:
+        yield chosen
+    finally:
+        _active = previous

@@ -1,0 +1,433 @@
+"""Run manifests: one JSON document that explains a run after the fact.
+
+A sweep (or single experiment) that ran with telemetry enabled emits a
+``manifest.json`` recording everything needed to answer "what exactly
+ran, and why did point #37 behave like that" *without re-running*:
+
+- **identity** — engine signature, ``git describe``, a content hash of
+  the configuration, the seed convention;
+- **metrics** — the merged registry snapshot (engine, link, phi
+  channel, runner), with histogram percentiles recoverable via
+  :func:`repro.telemetry.registry.histogram_percentile`;
+- **per-point rollups** — for every sweep point: key, params, seed,
+  provenance (computed / cached / resumed), wall time, events, retry
+  count, and the full failure history the supervisor recorded;
+- **quarantine provenance** — points given up on, with their histories.
+
+The schema is versioned (:data:`MANIFEST_SCHEMA`) and checked by
+:func:`validate_manifest` (also exposed as a standalone script,
+``scripts/validate_manifest.py``, for CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .registry import histogram_percentile
+
+MANIFEST_SCHEMA = "repro-telemetry-manifest/1"
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "git_describe",
+    "load_manifest",
+    "run_manifest",
+    "summarize_manifest",
+    "sweep_manifest",
+    "validate_manifest",
+    "write_manifest",
+]
+
+
+def _engine_signature() -> str:
+    # Imported lazily: repro.runner imports repro.telemetry at package
+    # import time, so a top-level import here would be circular.
+    from ..runner.hashing import ENGINE_SIGNATURE
+
+    return ENGINE_SIGNATURE
+
+
+def _content_hash(payload: Any) -> str:
+    from ..runner.hashing import content_hash
+
+    return content_hash(payload)
+
+
+def git_describe(cwd: Optional[str] = None) -> Optional[str]:
+    """``git describe --always --dirty``, or None outside a checkout.
+
+    Defaults to the directory holding this source tree — the manifest
+    should describe the *code* that ran, regardless of the process CWD.
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def _base_manifest(
+    command: str,
+    config: Dict[str, Any],
+    seeds: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": _time.time(),
+        "command": command,
+        "engine_signature": _engine_signature(),
+        "git_describe": git_describe(),
+        "config": config,
+        "config_hash": _content_hash(config),
+        "seeds": seeds,
+        "metrics": metrics
+        if metrics is not None
+        else {"counters": {}, "gauges": {}, "histograms": {}},
+        "points": [],
+        "quarantined": [],
+        "totals": {},
+    }
+
+
+def _failure_dicts(failures: Sequence[Any]) -> List[Dict[str, Any]]:
+    return [
+        {"kind": f.kind, "message": f.message, "attempt": f.attempt}
+        for f in failures
+    ]
+
+
+def sweep_manifest(
+    outcome,
+    *,
+    metrics: Optional[Dict[str, Any]] = None,
+    command: str = "sweep",
+    extra_config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a manifest from a :class:`~repro.runner.core.SweepOutcome`.
+
+    ``metrics`` is the merged registry snapshot to embed (defaults to
+    the outcome's own merged worker telemetry).  Per-point provenance,
+    retry counts, and failure histories come from the fields the runner
+    and supervisor recorded on the outcome.
+    """
+    spec = outcome.spec
+    config = {
+        "preset": spec.preset.name,
+        "topology": _plain_config(spec.preset.config),
+        "workload": _plain_config(spec.preset.workload),
+        "duration_s": float(spec.effective_duration_s),
+        "n_points": len(outcome.points) + len(outcome.quarantined),
+        "n_runs": outcome.n_runs,
+    }
+    if extra_config:
+        config.update(extra_config)
+    manifest = _base_manifest(
+        command,
+        config,
+        {"base_seed": outcome.base_seed, "n_runs": outcome.n_runs},
+        metrics if metrics is not None else outcome.telemetry,
+    )
+    failure_history = getattr(outcome, "failure_history", {}) or {}
+    provenance = getattr(outcome, "provenance", {}) or {}
+    for point in outcome.points:
+        failures = failure_history.get(point.key, ())
+        manifest["points"].append(
+            {
+                "key": point.key,
+                "params": point.params.as_dict(),
+                "seed": point.seed,
+                "run_index": point.run_index,
+                "status": provenance.get(point.key, "computed"),
+                "wall_seconds": point.wall_seconds,
+                "events_processed": point.events_processed,
+                "retries": len(failures),
+                "failures": _failure_dicts(failures),
+                "metrics": {
+                    "throughput_mbps": point.metrics.throughput_mbps,
+                    "queueing_delay_ms": point.metrics.queueing_delay_ms,
+                    "loss_rate": point.metrics.loss_rate,
+                    "mean_utilization": point.mean_utilization,
+                },
+            }
+        )
+    for quarantined in outcome.quarantined:
+        manifest["quarantined"].append(
+            {
+                "index": quarantined.index,
+                "params": quarantined.point.params.as_dict(),
+                "seed": quarantined.point.seed,
+                "run_index": quarantined.point.run_index,
+                "attempts": quarantined.attempts,
+                "failures": _failure_dicts(quarantined.failures),
+            }
+        )
+    manifest["totals"] = {
+        "points": len(outcome.points),
+        "cache_hits": outcome.cache_hits,
+        "checkpoint_reused": outcome.checkpoint_reused,
+        "recomputed": sum(
+            1 for p in manifest["points"] if p["status"] == "computed"
+        ),
+        "retries": outcome.retries,
+        "quarantined": len(outcome.quarantined),
+        "pool_rebuilds": outcome.pool_rebuilds,
+        "serial_fallback": outcome.serial_fallback,
+        "workers": outcome.workers,
+        "wall_seconds": outcome.wall_seconds,
+        "total_events": outcome.total_events,
+        "events_per_second": outcome.events_per_second,
+    }
+    return manifest
+
+
+def run_manifest(
+    *,
+    command: str,
+    preset_name: str,
+    seed: int,
+    duration_s: float,
+    metrics: Dict[str, Any],
+    result=None,
+    extra_config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a manifest for a single (non-sweep) experiment run."""
+    config: Dict[str, Any] = {
+        "preset": preset_name,
+        "duration_s": float(duration_s),
+    }
+    if extra_config:
+        config.update(extra_config)
+    manifest = _base_manifest(command, config, {"seed": seed}, metrics)
+    totals: Dict[str, Any] = {"points": 1}
+    if result is not None:
+        manifest["points"].append(
+            {
+                "key": _content_hash(config),
+                "params": config.get("params"),
+                "seed": seed,
+                "run_index": 0,
+                "status": "computed",
+                "wall_seconds": None,
+                "events_processed": result.events_processed,
+                "retries": 0,
+                "failures": [],
+                "metrics": {
+                    "throughput_mbps": result.metrics.throughput_mbps,
+                    "queueing_delay_ms": result.metrics.queueing_delay_ms,
+                    "loss_rate": result.metrics.loss_rate,
+                    "mean_utilization": result.mean_utilization,
+                },
+            }
+        )
+        totals["total_events"] = result.events_processed
+        totals["connections"] = result.connections
+    manifest["totals"] = totals
+    return manifest
+
+
+def _plain_config(config) -> Optional[Dict[str, Any]]:
+    if config is None:
+        return None
+    from dataclasses import asdict, is_dataclass
+
+    if is_dataclass(config) and not isinstance(config, type):
+        return {k: v for k, v in sorted(asdict(config).items())}
+    return dict(config)
+
+
+def write_manifest(manifest: Dict[str, Any], path: str) -> None:
+    """Atomically write ``manifest`` as pretty JSON."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read a manifest and check its schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    errors = validate_manifest(manifest)
+    if errors:
+        raise ValueError(
+            f"{path} is not a valid telemetry manifest: " + "; ".join(errors)
+        )
+    return manifest
+
+
+def validate_manifest(manifest: Any) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(manifest, dict):
+        return ["manifest is not a JSON object"]
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        errors.append(
+            f"schema is {manifest.get('schema')!r}, expected {MANIFEST_SCHEMA!r}"
+        )
+    for key, kind in (
+        ("created_unix", (int, float)),
+        ("command", str),
+        ("engine_signature", str),
+        ("config", dict),
+        ("config_hash", str),
+        ("seeds", dict),
+        ("metrics", dict),
+        ("points", list),
+        ("quarantined", list),
+        ("totals", dict),
+    ):
+        if key not in manifest:
+            errors.append(f"missing key {key!r}")
+        elif not isinstance(manifest[key], kind):
+            errors.append(f"{key!r} has wrong type {type(manifest[key]).__name__}")
+    metrics = manifest.get("metrics")
+    if isinstance(metrics, dict):
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                errors.append(f"metrics.{section} missing or not an object")
+        for key, histogram in (metrics.get("histograms") or {}).items():
+            if not isinstance(histogram, dict):
+                errors.append(f"histogram {key!r} is not an object")
+                continue
+            bounds = histogram.get("bounds")
+            counts = histogram.get("bucket_counts")
+            if not isinstance(bounds, list) or not isinstance(counts, list):
+                errors.append(f"histogram {key!r} lacks bounds/bucket_counts")
+            elif len(counts) != len(bounds) + 1:
+                errors.append(
+                    f"histogram {key!r}: {len(counts)} buckets for "
+                    f"{len(bounds)} bounds (want bounds+1)"
+                )
+    points = manifest.get("points")
+    if isinstance(points, list):
+        for index, point in enumerate(points):
+            if not isinstance(point, dict):
+                errors.append(f"points[{index}] is not an object")
+                continue
+            for key in ("key", "seed", "status", "retries", "failures"):
+                if key not in point:
+                    errors.append(f"points[{index}] missing {key!r}")
+            if point.get("status") not in (
+                "computed", "cached", "resumed", "quarantined", None
+            ):
+                errors.append(
+                    f"points[{index}] has unknown status {point.get('status')!r}"
+                )
+    return errors
+
+
+def _percentiles(histogram: Dict[str, Any]) -> Tuple[float, float, float]:
+    return (
+        histogram_percentile(histogram, 50),
+        histogram_percentile(histogram, 90),
+        histogram_percentile(histogram, 99),
+    )
+
+
+def summarize_manifest(manifest: Dict[str, Any], max_points: int = 24) -> str:
+    """Render a human-readable table from a manifest."""
+    lines: List[str] = []
+    created = _time.strftime(
+        "%Y-%m-%d %H:%M:%S", _time.gmtime(manifest.get("created_unix", 0))
+    )
+    lines.append(
+        f"manifest: {manifest.get('command')} "
+        f"(engine {manifest.get('engine_signature')}, "
+        f"git {manifest.get('git_describe') or 'unknown'}, {created} UTC)"
+    )
+    config = manifest.get("config", {})
+    lines.append(
+        f"config:   preset={config.get('preset')} "
+        f"duration={config.get('duration_s')}s "
+        f"hash={manifest.get('config_hash', '')[:12]}"
+    )
+    totals = manifest.get("totals", {})
+    if totals:
+        parts = []
+        for key in (
+            "points", "cache_hits", "checkpoint_reused", "recomputed",
+            "retries", "quarantined", "pool_rebuilds", "workers",
+        ):
+            if key in totals:
+                parts.append(f"{key}={totals[key]}")
+        if "wall_seconds" in totals:
+            parts.append(f"wall={totals['wall_seconds']:.2f}s")
+        if "events_per_second" in totals:
+            parts.append(f"{totals['events_per_second']:,.0f} events/s")
+        lines.append("totals:   " + " ".join(parts))
+
+    counters = manifest.get("metrics", {}).get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for key, value in counters.items():
+            rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.4f}"
+            lines.append(f"  {key:<52s} {rendered:>14s}")
+
+    histograms = manifest.get("metrics", {}).get("histograms", {})
+    live = {k: h for k, h in histograms.items() if h.get("count")}
+    if live:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<44s} {'count':>8s} {'mean':>10s} "
+            f"{'p50':>10s} {'p90':>10s} {'p99':>10s} {'max':>10s}"
+        )
+        for key, histogram in live.items():
+            p50, p90, p99 = _percentiles(histogram)
+            mean_value = histogram["sum"] / histogram["count"]
+            lines.append(
+                f"{key:<44s} {histogram['count']:>8d} {mean_value:>10.4g} "
+                f"{p50:>10.4g} {p90:>10.4g} {p99:>10.4g} "
+                f"{histogram['max']:>10.4g}"
+            )
+
+    points = manifest.get("points", [])
+    if points:
+        lines.append("")
+        lines.append(
+            f"{'#':>4s} {'status':<9s} {'seed':>5s} {'retries':>7s} "
+            f"{'wall_s':>8s} {'events':>10s} {'thr_mbps':>9s} {'loss':>7s}"
+        )
+        for index, point in enumerate(points[:max_points]):
+            metrics = point.get("metrics") or {}
+            wall = point.get("wall_seconds")
+            events = point.get("events_processed")
+            lines.append(
+                f"{index:>4d} {point.get('status', '?'):<9s} "
+                f"{point.get('seed', 0):>5d} {point.get('retries', 0):>7d} "
+                f"{(f'{wall:.3f}' if wall is not None else '--'):>8s} "
+                f"{(f'{events:,}' if events is not None else '--'):>10s} "
+                f"{metrics.get('throughput_mbps', 0.0):>9.2f} "
+                f"{metrics.get('loss_rate', 0.0):>7.4f}"
+            )
+        if len(points) > max_points:
+            lines.append(f"  ... {len(points) - max_points} more point(s)")
+
+    quarantined = manifest.get("quarantined", [])
+    if quarantined:
+        lines.append("")
+        lines.append("quarantined:")
+        for entry in quarantined:
+            last = entry["failures"][-1] if entry.get("failures") else {}
+            lines.append(
+                f"  #{entry.get('index')} seed={entry.get('seed')} "
+                f"attempts={entry.get('attempts')} "
+                f"last={last.get('kind')}: {last.get('message')}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Sim-time-aware tracing: lightweight events and spans.
+
+Unlike :mod:`repro.simnet.trace` (per-packet records inside one
+simulation), this tracer captures *system* activity — sweep points
+starting and finishing, RPC calls, watchdog trips, pool rebuilds — and
+stamps every record with both clocks: ``sim_time`` (where the simulated
+world was) and ``wall_time`` (where the real one was, seconds since the
+tracer's epoch).  Correlating the two is what answers questions like
+"why was point #37 slow": its span shows a wall-time stall at a frozen
+sim clock.
+
+Memory is bounded: the tracer keeps at most ``capacity`` records in a
+ring (oldest evicted first) and counts evictions, so tracing a
+week-long sweep cannot exhaust RAM.  :meth:`Tracer.dump_jsonl` writes
+the retained window as JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["NullTracer", "Tracer"]
+
+
+class Tracer:
+    """A bounded in-memory trace with a JSONL sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained records; older records are evicted (and
+        counted in :attr:`evicted`) once the ring is full.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.emitted = 0
+        self._epoch = _time.perf_counter()
+
+    @property
+    def evicted(self) -> int:
+        """Records pushed out of the ring by newer ones."""
+        return self.emitted - len(self._records)
+
+    def _wall(self) -> float:
+        return _time.perf_counter() - self._epoch
+
+    def event(
+        self,
+        name: str,
+        sim_time: Optional[float] = None,
+        **fields: Any,
+    ) -> None:
+        """Record an instantaneous event keyed by ``(sim_time, wall_time)``."""
+        record: Dict[str, Any] = {
+            "name": name,
+            "kind": "event",
+            "sim_time": sim_time,
+            "wall_time": self._wall(),
+        }
+        if fields:
+            record["fields"] = fields
+        self._records.append(record)
+        self.emitted += 1
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        sim_time: Optional[float] = None,
+        **fields: Any,
+    ) -> Iterator[Dict[str, Any]]:
+        """Record a wall-time duration: ``with tracer.span("point"): ...``.
+
+        The record is appended when the block exits (so the trace stays
+        chronological by completion) and yielded to the block, which may
+        add fields to it while running.
+        """
+        started = self._wall()
+        record: Dict[str, Any] = {
+            "name": name,
+            "kind": "span",
+            "sim_time": sim_time,
+            "wall_time": started,
+        }
+        if fields:
+            record["fields"] = dict(fields)
+        try:
+            yield record
+        finally:
+            record["duration_s"] = self._wall() - started
+            self._records.append(record)
+            self.emitted += 1
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The retained window, oldest first."""
+        return list(self._records)
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the retained records as JSON lines; returns the count.
+
+        The first line is a header noting how many records were emitted
+        and evicted, so a truncated trace is self-describing.
+        """
+        retained = list(self._records)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "name": "trace.header",
+                        "kind": "header",
+                        "emitted": self.emitted,
+                        "evicted": self.evicted,
+                        "capacity": self.capacity,
+                    }
+                )
+                + "\n"
+            )
+            for record in retained:
+                handle.write(json.dumps(record) + "\n")
+        return len(retained)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.emitted = 0
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: events vanish, spans cost one yield."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def event(
+        self,
+        name: str,
+        sim_time: Optional[float] = None,
+        **fields: Any,
+    ) -> None:
+        pass
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        sim_time: Optional[float] = None,
+        **fields: Any,
+    ) -> Iterator[Dict[str, Any]]:
+        yield {}

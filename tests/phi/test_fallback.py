@@ -236,3 +236,45 @@ class TestResilientFactory:
         assert done
         assert server.reports_received == 1
         assert server.active_connections == 0
+
+
+class TestModeTimeAccounting:
+    def test_mode_times_charge_elapsed_to_prior_mode(self):
+        source, clock = FlakySource(), Clock()
+        client = ResilientContextClient(source, now=clock, staleness_ttl_s=10.0)
+        client.resolve()                      # FRESH at t=0
+        clock.t = 4.0
+        source.up = False
+        client.resolve()                      # STALE at t=4: 4 s of FRESH
+        clock.t = 9.0
+        assert client.mode_times() == {
+            "fresh": 4.0, "stale": 5.0, "fallback": 0.0,
+        }
+        # The closed-out ledger excludes the still-open STALE interval.
+        assert client.mode_time_s["stale"] == 0.0
+
+    def test_no_mode_before_first_lookup(self):
+        client = ResilientContextClient(FlakySource(), now=Clock())
+        assert client.mode_times() == {
+            "fresh": 0.0, "stale": 0.0, "fallback": 0.0,
+        }
+
+    def test_telemetry_counters(self):
+        from repro import telemetry
+
+        source, clock = FlakySource(), Clock()
+        with telemetry.use() as tele:
+            client = ResilientContextClient(
+                source, now=clock, staleness_ttl_s=10.0
+            )
+            client.resolve()                  # fresh
+            clock.t = 3.0
+            source.up = False
+            client.resolve()                  # stale; 3 s charged to fresh
+            clock.t = 5.0
+            client.resolve()                  # stale; 2 s charged to stale
+            counters = tele.registry.snapshot()["counters"]
+        assert counters["phi.context_decisions{decision=fresh}"] == 1.0
+        assert counters["phi.context_decisions{decision=stale}"] == 2.0
+        assert counters["phi.mode_time_s{mode=fresh}"] == 3.0
+        assert counters["phi.mode_time_s{mode=stale}"] == 2.0

@@ -154,6 +154,51 @@ class TestLinkMonitor:
         with pytest.raises(ValueError):
             LinkMonitor(sim, top.bottleneck, period_s=0)
 
+    def test_sample_times_stay_on_grid_without_drift(self):
+        # 0.1 is not exactly representable in binary; repeatedly adding it
+        # accumulates error, whereas epoch + k*period rounds once per tick.
+        sim = Simulator()
+        top = DumbbellTopology(sim)
+        monitor = LinkMonitor(sim, top.bottleneck, period_s=0.1, history=20_000)
+        monitor.start()
+        sim.run(until=1000.0)
+        times = [s.time for s in monitor.samples]
+        assert len(times) >= 9_999
+        for k, t in enumerate(times, start=1):
+            assert t == k * 0.1, f"sample {k} drifted: {t!r} != {k * 0.1!r}"
+
+    def test_grid_is_anchored_at_start_epoch(self):
+        sim = Simulator()
+        top = DumbbellTopology(sim)
+        monitor = LinkMonitor(sim, top.bottleneck, period_s=0.25)
+        sim.schedule_at(1.0, monitor.start)
+        sim.run(until=2.6)
+        times = [s.time for s in monitor.samples]
+        assert times == [1.0 + k * 0.25 for k in range(1, len(times) + 1)]
+        assert times, "monitor started mid-run must still sample"
+
+    def test_telemetry_histograms_and_drop_counter(self):
+        from repro import telemetry
+
+        with telemetry.use() as tele:
+            sim = Simulator()
+            top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+            monitor = LinkMonitor(sim, top.bottleneck, period_s=0.05)
+            monitor.start()
+            for i in range(70):
+                top.senders[0].send(
+                    make_data_packet(
+                        1, top.senders[0].name, top.receivers[0].name, i, 1400
+                    )
+                )
+            sim.run(until=0.5)
+            snapshot = tele.registry.snapshot()
+        name = top.bottleneck.name
+        utilization = snapshot["histograms"][f"link.utilization{{link={name}}}"]
+        assert utilization["count"] == len(monitor.samples)
+        depth = snapshot["histograms"][f"link.queue_depth_pkts{{link={name}}}"]
+        assert depth["count"] == len(monitor.samples)
+
 
 class TestActiveFlowTracker:
     def test_counts(self):

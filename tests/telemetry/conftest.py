@@ -1,0 +1,11 @@
+"""Shared guard: no test may leak an enabled global telemetry session."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    yield
+    telemetry.disable()

@@ -1,0 +1,93 @@
+"""Tests for the sim-time-aware tracer: bounds, spans, JSONL sink."""
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import NullTracer, Tracer
+
+
+class TestEvents:
+    def test_event_records_both_clocks(self):
+        tracer = Tracer()
+        tracer.event("watchdog_trip", sim_time=12.5, reason="max_events")
+        (record,) = tracer.records()
+        assert record["name"] == "watchdog_trip"
+        assert record["kind"] == "event"
+        assert record["sim_time"] == 12.5
+        assert record["wall_time"] >= 0.0
+        assert record["fields"] == {"reason": "max_events"}
+
+    def test_event_without_fields_omits_key(self):
+        tracer = Tracer()
+        tracer.event("tick")
+        (record,) = tracer.records()
+        assert "fields" not in record
+
+    def test_span_measures_duration_and_accepts_fields(self):
+        tracer = Tracer()
+        with tracer.span("point", sim_time=3.0, index=7) as record:
+            record["fields"]["extra"] = "added-inside"
+        (record,) = tracer.records()
+        assert record["kind"] == "span"
+        assert record["duration_s"] >= 0.0
+        assert record["fields"] == {"index": 7, "extra": "added-inside"}
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("explodes"):
+                raise RuntimeError("boom")
+        assert len(tracer.records()) == 1
+
+
+class TestBoundedMemory:
+    def test_ring_evicts_oldest(self):
+        tracer = Tracer(capacity=3)
+        for index in range(10):
+            tracer.event("e", index=index)
+        records = tracer.records()
+        assert len(records) == 3
+        assert [r["fields"]["index"] for r in records] == [7, 8, 9]
+        assert tracer.emitted == 10
+        assert tracer.evicted == 7
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.event("e")
+        tracer.clear()
+        assert tracer.records() == []
+        assert tracer.emitted == 0
+
+
+class TestJsonlSink:
+    def test_dump_writes_header_then_records(self, tmp_path):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.event("e", sim_time=float(index))
+        path = tmp_path / "trace.jsonl"
+        retained = tracer.dump_jsonl(str(path))
+        assert retained == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 3
+        header = lines[0]
+        assert header["kind"] == "header"
+        assert header["emitted"] == 5
+        assert header["evicted"] == 3
+        assert header["capacity"] == 2
+        assert [line["sim_time"] for line in lines[1:]] == [3.0, 4.0]
+
+
+class TestNullTracer:
+    def test_noop(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.event("e", sim_time=1.0)
+        with tracer.span("s") as record:
+            assert record == {}
+        assert tracer.records() == []
+        assert tracer.emitted == 0

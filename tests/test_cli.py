@@ -117,3 +117,73 @@ class TestSweepCommand:
         capsys.readouterr()
         assert main(self.MINI + ["--cache-dir", cache_dir]) == 0
         assert "cached=2" in capsys.readouterr().out
+
+
+class TestTelemetryOutputs:
+    MINI = TestSweepCommand.MINI
+
+    def test_sweep_writes_manifest_and_trace(self, tmp_path, capsys):
+        import json
+
+        manifest_path = str(tmp_path / "manifest.json")
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main(
+            self.MINI
+            + ["--metrics-out", manifest_path, "--trace-out", trace_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry manifest:" in out
+        assert "telemetry trace:" in out
+
+        from repro.telemetry.manifest import load_manifest, validate_manifest
+
+        manifest = load_manifest(manifest_path)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "sweep"
+        assert len(manifest["points"]) == 2
+        assert all(p["status"] == "computed" for p in manifest["points"])
+        assert manifest["metrics"]["counters"]["sim.events"] > 0
+        assert "runner.point_wall_s" in manifest["metrics"]["histograms"]
+
+        lines = [
+            json.loads(line)
+            for line in open(trace_path, encoding="utf-8")
+        ]
+        assert lines[0]["kind"] == "header"
+        names = {line.get("name") for line in lines[1:]}
+        assert "runner.sweep_complete" in names
+
+    def test_cubic_writes_manifest(self, tmp_path, capsys):
+        from repro.telemetry.manifest import load_manifest, validate_manifest
+
+        manifest_path = str(tmp_path / "run.json")
+        assert main(
+            ["cubic", "--duration", "5", "--seed", "1",
+             "--metrics-out", manifest_path]
+        ) == 0
+        manifest = load_manifest(manifest_path)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "cubic"
+        assert manifest["seeds"] == {"seed": 1}
+        assert manifest["metrics"]["counters"]["sim.events"] > 0
+
+    def test_run_without_flags_leaves_telemetry_disabled(self, capsys):
+        from repro import telemetry
+
+        assert main(["cubic", "--duration", "5", "--seed", "1"]) == 0
+        assert not telemetry.session().enabled
+
+    def test_summarize_round_trip(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "manifest.json")
+        assert main(self.MINI + ["--metrics-out", manifest_path]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", manifest_path]) == 0
+        out = capsys.readouterr().out
+        assert "sim.events" in out
+        assert "computed" in out
+
+    def test_summarize_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["telemetry", "summarize", str(bad)]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
