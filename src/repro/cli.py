@@ -8,6 +8,8 @@ without writing Python:
 - ``repro-phi phi`` — run Phi-coordinated Cubic (practical or ideal);
 - ``repro-phi incremental`` — the Figure-4 partial deployment;
 - ``repro-phi sweep`` — the Table-2 grid sweep via the parallel runner;
+- ``repro-phi poison`` — the X6 Byzantine-context sweep (corruption
+  severity x Byzantine report fraction, guarded or unguarded);
 - ``repro-phi ipfix`` — the Section-2.1 sharing analysis;
 - ``repro-phi diagnose`` — the Figure-5 outage detection pipeline;
 - ``repro-phi telemetry summarize`` — render a run manifest as a table.
@@ -41,10 +43,13 @@ from .diagnosis import (
 )
 from .experiments import (
     ALL_PRESETS,
+    check_harm_demonstrated,
+    check_safety_envelope,
     run_cubic_fixed,
     run_incremental_deployment,
     run_parameter_sweep,
     run_phi_cubic,
+    run_poison_sweep,
 )
 from .ipfix import (
     EgressTrafficModel,
@@ -65,6 +70,7 @@ from .runner import (
 from .simnet.engine import WatchdogConfig
 from .telemetry.manifest import (
     load_manifest,
+    poison_manifest,
     run_manifest,
     summarize_manifest,
     sweep_manifest,
@@ -358,6 +364,105 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _int_list(text: str) -> List[int]:
+    try:
+        values = [int(item) for item in text.split(",") if item.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("need at least one value")
+    return values
+
+
+def cmd_poison(args: argparse.Namespace) -> int:
+    from .phi.corruption import CONTEXT_CORRUPTION_MODES
+
+    preset = _preset_or_exit(args.preset)
+    modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
+    unknown = [mode for mode in modes if mode not in CONTEXT_CORRUPTION_MODES]
+    if unknown:
+        print(f"unknown corruption mode(s): {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(CONTEXT_CORRUPTION_MODES))}",
+              file=sys.stderr)
+        return 2
+    guarded = not args.unguarded
+    common = dict(
+        byzantine_fractions=args.byzantine,
+        seeds=args.seeds,
+        modes=modes,
+        guarded=guarded,
+        duration_s=args.duration,
+    )
+    with ExitStack() as stack:
+        tele = None
+        if _telemetry_wanted(args):
+            tele = stack.enter_context(telemetry.use())
+        outcome = run_poison_sweep(
+            REFERENCE_POLICY, preset, args.severities,
+            n_workers=args.workers, parallel=args.workers > 1, **common,
+        )
+        if tele is not None:
+            snapshots = [tele.registry.snapshot()]
+            if outcome.telemetry is not None:
+                snapshots.append(outcome.telemetry)
+            _write_telemetry_outputs(
+                args,
+                tele,
+                poison_manifest(
+                    outcome,
+                    metrics=telemetry.merge_snapshots(snapshots),
+                    extra_config={"expect_harm": args.expect_harm},
+                ),
+            )
+
+    label = "guarded" if guarded else "UNGUARDED"
+    print(f"poisoned sweep ({label}): preset={preset.name} "
+          f"modes={','.join(modes)} seeds={','.join(map(str, args.seeds))}")
+    if not args.quiet:
+        for row in outcome.rows:
+            distrusted = row.decision_counts.get("distrusted", 0)
+            print(f"  sev={row.severity:<5g} byz={row.byzantine_fraction:<5g} "
+                  f"P_l={row.mean_power_l:8.4f} ({row.power_vs_baseline:5.2f}x base)  "
+                  f"thr={row.mean_throughput_mbps:6.2f} Mbps "
+                  f"({row.throughput_vs_baseline:5.2f}x base)  "
+                  f"rejected={sum(row.guard_rejections.values())} "
+                  f"distrusted={distrusted} trust={row.mean_trust_score:.2f}")
+
+    if args.serial_check:
+        serial = run_poison_sweep(
+            REFERENCE_POLICY, preset, args.severities,
+            n_workers=1, parallel=False, collect_telemetry=False, **common,
+        )
+        mismatched = sum(
+            1 for mine, theirs in zip(outcome.results, serial.results)
+            if not mine.identical_to(theirs)
+        )
+        if mismatched or len(serial.results) != len(outcome.results):
+            print(f"DETERMINISM VIOLATION: {mismatched} point(s) differ "
+                  f"between serial and parallel poisoned sweeps", file=sys.stderr)
+            return 1
+        print(f"serial check: all {len(outcome.results)} point(s) bit-identical")
+
+    if args.expect_harm:
+        if not check_harm_demonstrated(outcome, rel_tol=args.tolerance):
+            print("HARM NOT DEMONSTRATED: no row fell below the baseline "
+                  "floor; the corruption harness is not injecting real harm",
+                  file=sys.stderr)
+            return 1
+        print("harm demonstrated: corruption drove at least one row below "
+              "the uncoordinated baseline")
+        return 0
+    violations = check_safety_envelope(outcome, rel_tol=args.tolerance)
+    if violations:
+        print("SAFETY ENVELOPE VIOLATED:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"safety envelope holds: every row within {args.tolerance:.0%} of "
+          f"the uncoordinated baseline on power and throughput")
+    return 0
+
+
 def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     try:
         manifest = load_manifest(args.manifest)
@@ -496,6 +601,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress the progress line")
     add_telemetry_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    poison = sub.add_parser(
+        "poison", help="X6 Byzantine-context sweep (corruption x lying reporters)"
+    )
+    poison.add_argument("--preset", default="fig2a-low-utilization")
+    poison.add_argument("--severities", type=_float_list, default=[0.0, 0.5, 1.0],
+                        help="comma-separated per-lookup corruption probabilities")
+    poison.add_argument("--byzantine", type=_float_list, default=[0.0],
+                        help="comma-separated per-report poisoning probabilities")
+    poison.add_argument("--seeds", type=_int_list, default=[0, 1],
+                        help="comma-separated seeds (one run per seed per cell)")
+    poison.add_argument("--modes", default="inflate",
+                        help="comma-separated corruption modes "
+                             "(bitflip,scale,frozen,replay,deflate,inflate,garbage)")
+    poison.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per run (default: preset duration)")
+    poison.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    poison.add_argument("--unguarded", action="store_true",
+                        help="strip the guard/trust/robust-aggregation defences "
+                             "(the ablation)")
+    poison.add_argument("--expect-harm", action="store_true", dest="expect_harm",
+                        help="succeed only if some row falls below the baseline "
+                             "floor (pair with --unguarded)")
+    poison.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative envelope tolerance (default 0.05)")
+    poison.add_argument("--serial-check", action="store_true",
+                        help="also run serially; verify bit-identical results")
+    poison.add_argument("--quiet", action="store_true",
+                        help="suppress the per-row table")
+    add_telemetry_args(poison)
+    poison.set_defaults(func=cmd_poison)
 
     telemetry_parser = sub.add_parser(
         "telemetry", help="inspect telemetry artifacts"

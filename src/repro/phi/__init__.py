@@ -36,11 +36,34 @@ from .client import (
     plain_cubic_factory,
     plain_remy_factory,
 )
+from .corruption import (
+    CONTEXT_CORRUPTION_MODES,
+    ByzantineReporter,
+    CompositeCorruptor,
+    ContextCorruptor,
+    CorruptingSource,
+    CorruptionLayer,
+    make_context_corruptor,
+)
 from .fallback import (
+    TRANSPORT_ERRORS,
     ContextDecision,
     ResilientContextClient,
     ResolvedContext,
     resilient_phi_cubic_factory,
+)
+from .guard import (
+    GUARD_REASONS,
+    ContextGuard,
+    GuardConfig,
+    GuardVerdict,
+)
+from .trust import (
+    LOSS_RATE_THRESHOLDS,
+    TrustConfig,
+    TrustTracker,
+    observed_level,
+    observed_level_from_stats,
 )
 from .deployment import (
     DeploymentMode,
@@ -58,17 +81,38 @@ from .optimizer import (
     sweep,
 )
 from .policy import REFERENCE_POLICY, PolicyDecision, PolicyTable
-from .server import ConnectionReport, ContextServer, IdealContextOracle
+from .server import (
+    ConnectionReport,
+    ContextServer,
+    IdealContextOracle,
+    RobustAggregationConfig,
+    report_invalid_reason,
+)
 
 __all__ = [
     "Aggregator",
     "BreakerState",
+    "ByzantineReporter",
+    "CONTEXT_CORRUPTION_MODES",
     "CUBIC_SWEEP_GRID",
     "ChannelConfig",
     "ChannelStats",
     "CircuitBreaker",
+    "CompositeCorruptor",
+    "ContextCorruptor",
     "ContextDecision",
+    "ContextGuard",
     "ControlChannel",
+    "CorruptingSource",
+    "CorruptionLayer",
+    "GUARD_REASONS",
+    "GuardConfig",
+    "GuardVerdict",
+    "LOSS_RATE_THRESHOLDS",
+    "RobustAggregationConfig",
+    "TRANSPORT_ERRORS",
+    "TrustConfig",
+    "TrustTracker",
     "FAIR_SHARE_THRESHOLDS_MBPS",
     "QUEUE_DELAY_THRESHOLDS",
     "ResilientContextClient",
@@ -95,6 +139,10 @@ __all__ = [
     "build_policy",
     "deployment_factories",
     "leave_one_out",
+    "make_context_corruptor",
+    "observed_level",
+    "observed_level_from_stats",
+    "report_invalid_reason",
     "phi_cubic_factory",
     "phi_remy_factory",
     "plain_cubic_factory",

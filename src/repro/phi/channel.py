@@ -264,6 +264,7 @@ class ControlChannel:
         config: Optional[ChannelConfig] = None,
         rng=None,
         breaker: Optional[CircuitBreaker] = None,
+        corruption=None,
     ) -> None:
         self.sim = sim
         self.backend = backend
@@ -274,6 +275,13 @@ class ControlChannel:
             raise ValueError("loss/jitter simulation requires an rng")
         self.rng = rng
         self.breaker = breaker or CircuitBreaker(lambda: sim.now)
+        #: Optional :class:`~repro.phi.corruption.CorruptionLayer`: the
+        #: channel's *semantic* fault axis, alongside the loss/outage
+        #: ones.  Applied to payloads of calls that succeed at the RPC
+        #: level — a lookup answer corrupted in flight, a report poisoned
+        #: by its sender — so transport health and payload truth fail
+        #: independently, as they do in practice.
+        self.corruption = corruption
         self.stats = ChannelStats()
         self._down_marks = 0
 
@@ -313,10 +321,17 @@ class ControlChannel:
     # ------------------------------------------------------------------
     def call_lookup(self) -> RpcResult:
         """Connection-start lookup as a fallible RPC."""
-        return self._call(self.backend.lookup, op="lookup")
+        if self.corruption is None:
+            return self._call(self.backend.lookup, op="lookup")
+        return self._call(
+            lambda: self.corruption.corrupt_context(self.backend.lookup()),
+            op="lookup",
+        )
 
     def call_report(self, report: ConnectionReport) -> RpcResult:
         """Connection-end report as a fallible RPC."""
+        if self.corruption is not None:
+            report = self.corruption.corrupt_report(report)
         return self._call(lambda: self.backend.report(report), op="report")
 
     def lookup(self) -> CongestionContext:

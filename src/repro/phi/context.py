@@ -7,6 +7,7 @@ Section 2.2.2: "the congestion context can be characterized in terms of
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
@@ -75,6 +76,17 @@ class CongestionContext:
     fair_share_mbps: Optional[float] = None
 
     def __post_init__(self) -> None:
+        # Finiteness first: NaN compares False against any bound, so the
+        # range checks below would silently wave NaN through (and level()
+        # would then bucket it to SEVERE).  Reject non-finite inputs for
+        # every field instead.
+        for name in ("utilization", "queue_delay_s", "competing_senders",
+                     "timestamp", "fair_share_mbps"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite: {value!r}")
         if not 0.0 <= self.utilization <= 1.0:
             raise ValueError(f"utilization must be in [0, 1]: {self.utilization}")
         if self.queue_delay_s < 0:

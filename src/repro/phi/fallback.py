@@ -13,6 +13,14 @@ that discipline:
   staleness TTL; use the cache (still coordinated, slightly old).
 - **FALLBACK**: no usable context; the caller must behave exactly like
   an unmodified sender (default Cubic parameters).
+- **DISTRUSTED**: lookups *succeed* but the outcome-driven
+  :class:`~repro.phi.trust.TrustTracker` says the answers have been
+  wrong; act like FALLBACK (stock defaults) while shadow-scoring the
+  answers so sustained accuracy can restore trust.
+
+A :class:`~repro.phi.guard.ContextGuard`, when attached, vets every
+successful lookup before it is cached or acted on; a rejected snapshot
+takes the same degradation path a failed RPC would.
 
 Every decision is tagged and counted so experiments can attribute
 outcomes to context quality.  End-of-connection reports that fail are
@@ -32,33 +40,54 @@ from ..simnet.engine import Simulator
 from ..simnet.node import Host
 from ..simnet.packet import FlowSpec
 from ..telemetry import session as _telemetry_session
-from ..transport.base import TcpSender
+from ..transport.base import ConnectionStats, TcpSender
 from ..transport.cubic import CubicParams, CubicSender
+from .channel import RpcError
 from .context import CongestionContext
+from .guard import ContextGuard
 from .policy import PolicyTable
 from .server import ConnectionReport
+from .trust import TrustTracker
+
+#: Exception types that mean "the control plane is unreachable" — the
+#: only failures the resilient client is licensed to mask.  Anything
+#: else (a TypeError in a policy callback, a KeyError in a backend) is a
+#: programming bug and must propagate, not be silently converted into a
+#: fallback decision.  :class:`RpcError` subclasses RuntimeError, so it
+#: is listed explicitly rather than catching RuntimeError wholesale.
+TRANSPORT_ERRORS = (RpcError, ConnectionError, TimeoutError, OSError)
 
 
 class ContextDecision(Enum):
     """How a connection's starting context was obtained."""
 
-    FRESH = "fresh"        # live lookup succeeded
-    STALE = "stale"        # lookup failed; cache within TTL used
-    FALLBACK = "fallback"  # no usable context; uncoordinated defaults
+    FRESH = "fresh"            # live lookup succeeded
+    STALE = "stale"            # lookup failed; cache within TTL used
+    FALLBACK = "fallback"      # no usable context; uncoordinated defaults
+    DISTRUSTED = "distrusted"  # lookup succeeded but trust has collapsed
 
 
 @dataclass(frozen=True)
 class ResolvedContext:
-    """One lookup outcome: the context (if any) and its provenance."""
+    """One lookup outcome: the context (if any) and its provenance.
+
+    ``shadow`` carries the guard-accepted context of a DISTRUSTED lookup:
+    the caller must not act on it, but the client still scores it against
+    the connection's outcome so accuracy can earn trust back.
+    """
 
     decision: ContextDecision
     context: Optional[CongestionContext]
     age_s: float = 0.0
+    shadow: Optional[CongestionContext] = None
 
     @property
     def coordinated(self) -> bool:
         """Whether the caller may act on shared state at all."""
-        return self.decision is not ContextDecision.FALLBACK
+        return self.decision not in (
+            ContextDecision.FALLBACK,
+            ContextDecision.DISTRUSTED,
+        )
 
 
 class ResilientContextClient:
@@ -80,6 +109,16 @@ class ResilientContextClient:
     max_pending_reports:
         Bound on the recovery queue of unsent end-of-connection reports;
         beyond it the oldest queued report is dropped (and counted).
+    guard:
+        Optional :class:`~repro.phi.guard.ContextGuard`.  Every
+        successful lookup is validated before being cached or served; a
+        rejected snapshot degrades exactly like a failed RPC (STALE
+        cache if young enough, else FALLBACK).
+    trust:
+        Optional :class:`~repro.phi.trust.TrustTracker`.  While it is
+        distrusted, guard-accepted lookups resolve as DISTRUSTED — the
+        context rides along as ``shadow`` for scoring, but the caller
+        runs stock defaults.
     """
 
     def __init__(
@@ -89,6 +128,8 @@ class ResilientContextClient:
         now: Callable[[], float],
         staleness_ttl_s: float = 10.0,
         max_pending_reports: int = 1024,
+        guard: Optional[ContextGuard] = None,
+        trust: Optional[TrustTracker] = None,
     ) -> None:
         if staleness_ttl_s < 0:
             raise ValueError(f"staleness_ttl_s must be >= 0: {staleness_ttl_s}")
@@ -100,6 +141,8 @@ class ResilientContextClient:
         self.now = now
         self.staleness_ttl_s = staleness_ttl_s
         self.max_pending_reports = max_pending_reports
+        self.guard = guard
+        self.trust = trust
         self._cached: Optional[CongestionContext] = None
         self._cached_at = 0.0
         self._pending: Deque[ConnectionReport] = deque()
@@ -108,9 +151,15 @@ class ResilientContextClient:
         self.reports_queued = 0
         self.reports_dropped = 0
         self.reports_flushed = 0
+        #: Masked transport failures, counted by exception type name.
+        self.transport_errors: Dict[str, int] = {}
         self._mode: Optional[ContextDecision] = None
         self._mode_since = now()
         self.mode_time_s: Dict[str, float] = {d.value: 0.0 for d in ContextDecision}
+
+    def _count_transport_error(self, exc: BaseException) -> None:
+        name = type(exc).__name__
+        self.transport_errors[name] = self.transport_errors.get(name, 0) + 1
 
     def _decide(self, decision: ContextDecision) -> None:
         """Count a decision and charge sim time to the mode it ends."""
@@ -148,16 +197,49 @@ class ResilientContextClient:
     # Lookup with degradation
     # ------------------------------------------------------------------
     def resolve(self) -> ResolvedContext:
-        """Obtain a starting context, degrading gracefully on failure."""
+        """Obtain a starting context, degrading gracefully on failure.
+
+        Order of scrutiny: transport failure → guard rejection → trust
+        gate.  Only a lookup that survives all three is cached and acted
+        on; a guard-rejected snapshot is treated like a failed RPC, and
+        a distrusted one is shadow-carried but not obeyed.
+        """
         try:
             context = self.source.lookup()
-        except Exception:
+        except TRANSPORT_ERRORS as exc:
+            self._count_transport_error(exc)
             return self._degraded()
+        if self.guard is not None and not self.guard.validate(context):
+            return self._degraded()
+        if self.trust is not None and self.trust.distrusted:
+            # The channel works, so let queued history through even
+            # though this sender will not act on the answer.
+            self._flush_pending()
+            self._decide(ContextDecision.DISTRUSTED)
+            return ResolvedContext(
+                ContextDecision.DISTRUSTED, None, shadow=context
+            )
         self._cached = context
         self._cached_at = self.now()
         self._decide(ContextDecision.FRESH)
         self._flush_pending()
         return ResolvedContext(ContextDecision.FRESH, context)
+
+    def observe_outcome(self, resolved: ResolvedContext, stats: ConnectionStats) -> None:
+        """Score a finished connection's prediction against its outcome.
+
+        Call with the :class:`ResolvedContext` the connection started
+        from and its final stats.  FRESH/STALE contexts are scored
+        directly; DISTRUSTED lookups score their ``shadow`` so recovery
+        is possible without acting on untrusted state.  FALLBACK carries
+        no prediction and is a no-op.
+        """
+        if self.trust is None:
+            return
+        predicted = resolved.context if resolved.context is not None else resolved.shadow
+        if predicted is None:
+            return
+        self.trust.record_outcome(predicted.level(), stats)
 
     def _degraded(self) -> ResolvedContext:
         if self._cached is not None:
@@ -187,7 +269,8 @@ class ResilientContextClient:
             return
         try:
             self.source.report(report)
-        except Exception:
+        except TRANSPORT_ERRORS as exc:
+            self._count_transport_error(exc)
             self._enqueue(report)
         else:
             self.reports_sent += 1
@@ -208,7 +291,8 @@ class ResilientContextClient:
             head = self._pending[0]
             try:
                 self.source.report(head)
-            except Exception:
+            except TRANSPORT_ERRORS as exc:
+                self._count_transport_error(exc)
                 return
             self._pending.popleft()
             self.reports_sent += 1
@@ -234,9 +318,11 @@ def resilient_phi_cubic_factory(
     """A SenderFactory with fail-safe Phi coordination.
 
     FRESH/STALE contexts key the policy table exactly like
-    :func:`~repro.phi.client.phi_cubic_factory`; FALLBACK connections use
-    ``fallback_params`` (default: stock Cubic), making a fully-partitioned
-    deployment bit-identical to the uncoordinated baseline.
+    :func:`~repro.phi.client.phi_cubic_factory`; FALLBACK and DISTRUSTED
+    connections use ``fallback_params`` (default: stock Cubic), making a
+    fully-partitioned — or fully-distrusting — deployment bit-identical
+    to the uncoordinated baseline.  Each finished connection feeds the
+    client's trust tracker (when one is attached) before reporting.
     """
     defaults = fallback_params if fallback_params is not None else CubicParams.default()
 
@@ -254,6 +340,7 @@ def resilient_phi_cubic_factory(
             params = defaults
 
         def report_and_complete(sender: TcpSender) -> None:
+            client.observe_outcome(resolved, sender.stats)
             client.report(ConnectionReport.from_stats(sender.stats, now()))
             on_complete(sender)
 

@@ -20,12 +20,14 @@ Two operating modes are provided:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional, Sequence
 
 from ..simnet.engine import Simulator
 from ..simnet.monitor import ActiveFlowTracker, LinkMonitor
+from ..telemetry import session as _telemetry_session
 from ..transport.base import ConnectionStats
 from .context import CongestionContext
 
@@ -64,6 +66,97 @@ class ConnectionReport:
         return max(0.0, self.mean_rtt_s - self.min_rtt_s)
 
 
+@dataclass(frozen=True)
+class RobustAggregationConfig:
+    """Byzantine-resistant estimation knobs for :class:`ContextServer`.
+
+    With a robust config the server (a) rejects reports whose fields are
+    not even well-formed telemetry and (b) aggregates the remainder so no
+    single reporter moves an estimate much: queue delay and loss use a
+    trimmed mean over the window's reports instead of a last-writer-wins
+    EWMA, and each report's contribution to utilization is capped at a
+    multiple of the window's median contribution.
+
+    Attributes
+    ----------
+    trim_fraction:
+        Fraction of reports discarded from *each* tail before averaging
+        queue delay and loss.  0.2 tolerates up to 20% colluding liars.
+    influence_bound:
+        Cap on one report's goodput contribution, as a multiple of the
+        median positive contribution in the window.  Bounds the damage
+        of a single "I transferred a petabyte" report.
+    min_reports_for_trim:
+        Below this many reports in the window, trimming would discard
+        most of the evidence; the server falls back to the EWMA path.
+    """
+
+    trim_fraction: float = 0.2
+    influence_bound: float = 4.0
+    min_reports_for_trim: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trim_fraction < 0.5:
+            raise ValueError(
+                f"trim_fraction must be in [0, 0.5): {self.trim_fraction}"
+            )
+        if self.influence_bound < 1.0:
+            raise ValueError(
+                f"influence_bound must be >= 1: {self.influence_bound}"
+            )
+        if self.min_reports_for_trim < 1:
+            raise ValueError(
+                f"min_reports_for_trim must be >= 1: {self.min_reports_for_trim}"
+            )
+
+
+def _trimmed_mean(values: Sequence[float], trim_fraction: float) -> float:
+    """Mean after dropping ``trim_fraction`` of samples from each tail."""
+    ordered = sorted(values)
+    k = int(len(ordered) * trim_fraction)
+    kept = ordered[k : len(ordered) - k] if k else ordered
+    if not kept:
+        kept = ordered
+    return sum(kept) / len(kept)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def report_invalid_reason(report: ConnectionReport) -> Optional[str]:
+    """Why a report is not even well-formed telemetry (``None`` if it is).
+
+    Reports arrive from untrusted senders over the wire, so — like
+    contexts (see :func:`~repro.phi.corruption.raw_context`) — their
+    dataclass invariants cannot be assumed to have run.
+    """
+    for name in (
+        "reported_at",
+        "bytes_transferred",
+        "duration_s",
+        "mean_rtt_s",
+        "min_rtt_s",
+        "loss_indicator",
+    ):
+        value = getattr(report, name)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            return "non_finite"
+    if report.bytes_transferred < 0:
+        return "negative_bytes"
+    if report.duration_s < 0:
+        return "negative_duration"
+    if report.mean_rtt_s < 0 or report.min_rtt_s < 0:
+        return "negative_rtt"
+    if not 0.0 <= report.loss_indicator <= 1.0:
+        return "loss_out_of_range"
+    return None
+
+
 class ContextServer:
     """Practical shared-state repository fed by start/end protocol messages.
 
@@ -84,6 +177,13 @@ class ContextServer:
         A sender that crashes (or whose report is lost) would otherwise
         inflate the active-connection count forever; its lease expires
         after this long instead.  ``None`` disables expiry.
+    robust:
+        Optional :class:`RobustAggregationConfig`.  When set, malformed
+        reports are rejected outright and the (u, q) estimates switch
+        from EWMA / raw sums to trimmed means and influence-capped sums
+        so a minority of Byzantine reporters cannot steer them.  The
+        default (``None``) preserves the original trusting estimators
+        bit-for-bit.
     """
 
     def __init__(
@@ -94,6 +194,7 @@ class ContextServer:
         window_s: float = 10.0,
         ewma_alpha: float = 0.3,
         lease_ttl_s: Optional[float] = 300.0,
+        robust: Optional[RobustAggregationConfig] = None,
     ) -> None:
         if bottleneck_capacity_bps <= 0:
             raise ValueError(
@@ -110,6 +211,7 @@ class ContextServer:
         self.window_s = window_s
         self.ewma_alpha = ewma_alpha
         self.lease_ttl_s = lease_ttl_s
+        self.robust = robust
 
         self._reports: Deque[ConnectionReport] = deque()
         #: Lookup timestamps whose connections have not reported back yet;
@@ -122,6 +224,8 @@ class ContextServer:
         self.lookups = 0
         self.reports_received = 0
         self.leases_expired = 0
+        self.reports_rejected = 0
+        self.report_rejections: dict = {}
 
     # ------------------------------------------------------------------
     # Protocol: lookup at connection start, report at connection end.
@@ -140,8 +244,27 @@ class ContextServer:
         return self.current_context()
 
     def report(self, report: ConnectionReport) -> None:
-        """Connection-end report: fold the connection's experience in."""
+        """Connection-end report: fold the connection's experience in.
+
+        With a robust config, a malformed report is dropped whole before
+        it touches any estimator state — including its lease release, so
+        a garbage-spewing reporter ages out via the lease TTL like a
+        crashed sender rather than silently shrinking ``n``.
+        """
         self.reports_received += 1
+        if self.robust is not None:
+            reason = report_invalid_reason(report)
+            if reason is not None:
+                self.reports_rejected += 1
+                self.report_rejections[reason] = (
+                    self.report_rejections.get(reason, 0) + 1
+                )
+                tele = _telemetry_session()
+                if tele.enabled:
+                    tele.registry.counter(
+                        "phi.report_rejections", reason=reason
+                    ).inc()
+                return
         self._expire_leases()
         if self._leases:
             # Release the oldest outstanding lease (reports carry no
@@ -192,7 +315,7 @@ class ContextServer:
         self._expire_old_reports()
         window_start = max(0.0, self.sim.now - self.window_s)
         window_len = max(1e-9, self.sim.now - window_start)
-        bits = 0.0
+        contributions: List[float] = []
         for report in self._reports:
             conn_start = report.reported_at - report.duration_s
             overlap = min(report.reported_at, self.sim.now) - max(
@@ -201,16 +324,55 @@ class ContextServer:
             if overlap <= 0 or report.duration_s <= 0:
                 continue
             fraction = min(1.0, overlap / report.duration_s)
-            bits += report.bytes_transferred * 8.0 * fraction
+            contributions.append(report.bytes_transferred * 8.0 * fraction)
+        bits = sum(self._bound_influence(contributions))
         return min(1.0, bits / (self.capacity_bps * window_len))
 
+    def _bound_influence(self, contributions: List[float]) -> List[float]:
+        """Cap per-report goodput contributions under robust aggregation.
+
+        A Byzantine reporter claiming an absurd transfer is clipped to
+        ``influence_bound`` times the median honest contribution, so it
+        can nudge the utilization estimate but not saturate it alone.
+        """
+        robust = self.robust
+        if robust is None or len(contributions) < robust.min_reports_for_trim:
+            return contributions
+        positive = [c for c in contributions if c > 0]
+        if not positive:
+            return contributions
+        cap = robust.influence_bound * _median(positive)
+        return [min(c, cap) for c in contributions]
+
+    def _windowed_trim(self, values: List[float], fallback: float) -> float:
+        robust = self.robust
+        if robust is None or len(values) < robust.min_reports_for_trim:
+            return fallback
+        return _trimmed_mean(values, robust.trim_fraction)
+
     def estimated_queue_delay(self) -> float:
-        """q: EWMA of reported RTT inflation."""
-        return self._queue_delay_ewma
+        """q: EWMA of reported RTT inflation.
+
+        Under robust aggregation (and enough reports in the window) this
+        becomes a trimmed mean over the window's reports: a minority of
+        outlier reporters — however extreme — are discarded from both
+        tails instead of being smoothed *into* the estimate.
+        """
+        self._expire_old_reports()
+        return self._windowed_trim(
+            [r.queue_delay_s for r in self._reports], self._queue_delay_ewma
+        )
 
     def estimated_loss(self) -> float:
-        """EWMA of reported loss indicators (informs conservative policies)."""
-        return self._loss_ewma
+        """EWMA of reported loss indicators (informs conservative policies).
+
+        Trimmed mean over the window under robust aggregation, like
+        :meth:`estimated_queue_delay`.
+        """
+        self._expire_old_reports()
+        return self._windowed_trim(
+            [r.loss_indicator for r in self._reports], self._loss_ewma
+        )
 
     @property
     def active_connections(self) -> int:

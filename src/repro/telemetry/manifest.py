@@ -35,6 +35,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "git_describe",
     "load_manifest",
+    "poison_manifest",
     "run_manifest",
     "summarize_manifest",
     "sweep_manifest",
@@ -237,6 +238,106 @@ def run_manifest(
         totals["total_events"] = result.events_processed
         totals["connections"] = result.connections
     manifest["totals"] = totals
+    return manifest
+
+
+def poison_manifest(
+    outcome,
+    *,
+    metrics: Optional[Dict[str, Any]] = None,
+    command: str = "poison",
+    extra_config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a manifest from a poisoned-context sweep outcome.
+
+    Besides the usual per-point transport metrics, every point carries
+    the defence stack's own accounting — guard rejections by reason,
+    decision counts (including ``distrusted``), the final trust score —
+    so the manifest alone answers "which lies were caught, and by which
+    layer".
+    """
+    spec = outcome.spec
+    config = {
+        "preset": spec.preset.name,
+        "topology": _plain_config(spec.preset.config),
+        "workload": _plain_config(spec.preset.workload),
+        "duration_s": float(
+            spec.duration_s
+            if spec.duration_s is not None
+            else spec.preset.duration_s
+        ),
+        "modes": list(spec.modes),
+        "guarded": spec.guarded,
+        "staleness_ttl_s": spec.staleness_ttl_s,
+        "n_points": len(outcome.results),
+    }
+    if extra_config:
+        config.update(extra_config)
+    manifest = _base_manifest(
+        command,
+        config,
+        {"seeds": sorted({r.seed for r in outcome.results})},
+        metrics if metrics is not None else outcome.telemetry,
+    )
+    for point in outcome.results:
+        manifest["points"].append(
+            {
+                "key": _content_hash(
+                    (point.severity, point.byzantine_fraction, point.seed)
+                ),
+                "params": {
+                    "severity": point.severity,
+                    "byzantine_fraction": point.byzantine_fraction,
+                },
+                "seed": point.seed,
+                "run_index": 0,
+                "status": "computed",
+                "wall_seconds": point.wall_seconds,
+                "events_processed": point.events_processed,
+                "retries": 0,
+                "failures": [],
+                "metrics": {
+                    "throughput_mbps": point.metrics.throughput_mbps,
+                    "queueing_delay_ms": point.metrics.queueing_delay_ms,
+                    "loss_rate": point.metrics.loss_rate,
+                    "power_l": point.metrics.power_l,
+                },
+                "defence": {
+                    "decision_counts": dict(point.decision_counts),
+                    "guard_rejections": dict(point.guard_rejections),
+                    "reports_rejected": point.reports_rejected,
+                    "contexts_corrupted": point.contexts_corrupted,
+                    "reports_poisoned": point.reports_poisoned,
+                    "trust_score": point.trust_score,
+                    "distrust_entries": point.distrust_entries,
+                },
+            }
+        )
+    decisions: Dict[str, int] = {}
+    rejections: Dict[str, int] = {}
+    for point in outcome.results:
+        for key, count in point.decision_counts.items():
+            decisions[key] = decisions.get(key, 0) + count
+        for key, count in point.guard_rejections.items():
+            rejections[key] = rejections.get(key, 0) + count
+    manifest["totals"] = {
+        "points": len(outcome.results),
+        "total_events": sum(p.events_processed for p in outcome.results),
+        "decision_counts": decisions,
+        "guard_rejections": rejections,
+        "reports_rejected": sum(p.reports_rejected for p in outcome.results),
+        "contexts_corrupted": sum(p.contexts_corrupted for p in outcome.results),
+        "reports_poisoned": sum(p.reports_poisoned for p in outcome.results),
+        "distrust_entries": sum(p.distrust_entries for p in outcome.results),
+        "baseline_power_by_seed": {
+            str(seed): metrics_.power_l
+            for seed, metrics_ in sorted(outcome.baseline_by_seed.items())
+        },
+        "baseline_throughput_by_seed": {
+            str(seed): metrics_.throughput_mbps
+            for seed, metrics_ in sorted(outcome.baseline_by_seed.items())
+        },
+    }
     return manifest
 
 

@@ -1,0 +1,169 @@
+"""Tests for the X6 Byzantine-context experiment harness."""
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.poisoned import (
+    PoisonSweepRow,
+    check_harm_demonstrated,
+    check_safety_envelope,
+    run_poison_sweep,
+    run_poisoned_phi_cubic,
+)
+from repro.experiments.scenarios import TABLE3_REMY, run_cubic_fixed
+from repro.phi.policy import REFERENCE_POLICY
+from repro.telemetry.manifest import poison_manifest, validate_manifest
+from repro.transport.cubic import CubicParams
+
+DURATION = 8.0
+
+
+def poisoned(**overrides):
+    kwargs = dict(
+        severity=1.0, seed=0, modes=("garbage",), guarded=True,
+        duration_s=DURATION,
+    )
+    kwargs.update(overrides)
+    return run_poisoned_phi_cubic(REFERENCE_POLICY, TABLE3_REMY, **kwargs)
+
+
+class TestRunValidation:
+    def test_severity_range_enforced(self):
+        with pytest.raises(ValueError, match="severity"):
+            poisoned(severity=1.5)
+        with pytest.raises(ValueError, match="severity"):
+            poisoned(severity=-0.1)
+
+    def test_byzantine_fraction_range_enforced(self):
+        with pytest.raises(ValueError, match="byzantine_fraction"):
+            poisoned(byzantine_fraction=2.0)
+
+
+class TestGuardedRun:
+    def test_garbage_at_full_severity_is_bitwise_baseline(self):
+        """The hard safety floor: when every context is rejected, every
+        connection runs stock defaults — the run is *bit-identical* to
+        uncoordinated Cubic, not merely close."""
+        run = poisoned()
+        baseline = run_cubic_fixed(
+            CubicParams.default(), TABLE3_REMY, seed=0, duration_s=DURATION
+        )
+        assert run.metrics == baseline.metrics
+        decisions = run.decision_counts
+        assert decisions["fresh"] == 0
+        assert decisions["fallback"] > 0
+        assert sum(run.guard_rejections.values()) == decisions["fallback"]
+
+    def test_rejection_reasons_recorded(self):
+        run = poisoned()
+        assert set(run.guard_rejections) <= {"non_finite", "out_of_range"}
+        assert run.contexts_corrupted == sum(run.guard_rejections.values())
+
+    def test_byzantine_reports_poisoned_and_rejected(self):
+        run = poisoned(severity=0.0, byzantine_fraction=1.0)
+        assert run.reports_poisoned > 0
+        # Robust aggregation drops the structurally invalid flavours.
+        assert run.reports_rejected > 0
+
+
+class TestUnguardedRun:
+    def test_defences_absent(self):
+        run = poisoned(guarded=False)
+        assert run.guard_rejections == {}
+        assert run.reports_rejected == 0
+        assert run.trust_score == 1.0
+        assert run.decision_counts["distrusted"] == 0
+        # The lies flow straight through to the policy table.
+        assert run.contexts_corrupted > 0
+        assert run.decision_counts["fresh"] > 0
+
+
+@pytest.mark.byzantine
+class TestSweepDeterminism:
+    def test_serial_and_parallel_bit_identical(self):
+        kwargs = dict(
+            severities=(0.0, 1.0), seeds=(0,), modes=("garbage",),
+            duration_s=DURATION, collect_telemetry=False,
+        )
+        serial = run_poison_sweep(
+            REFERENCE_POLICY, TABLE3_REMY, parallel=False, **kwargs
+        )
+        parallel = run_poison_sweep(
+            REFERENCE_POLICY, TABLE3_REMY, n_workers=2, **kwargs
+        )
+        assert len(serial.results) == len(parallel.results) == 2
+        for mine, theirs in zip(serial.results, parallel.results):
+            assert mine.identical_to(theirs)
+
+    def test_sweep_telemetry_and_manifest(self):
+        with telemetry.use():
+            outcome = run_poison_sweep(
+                REFERENCE_POLICY, TABLE3_REMY,
+                severities=(1.0,), seeds=(0,), modes=("garbage",),
+                duration_s=DURATION, parallel=False, collect_telemetry=True,
+            )
+        counters = outcome.telemetry["counters"]
+        assert any("phi.guard_rejections" in key for key in counters)
+        manifest = poison_manifest(outcome)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "poison"
+        point = manifest["points"][0]
+        assert point["defence"]["guard_rejections"]
+        assert "decision_counts" in manifest["totals"]
+        assert "baseline_power_by_seed" in manifest["totals"]
+
+
+def row(power=1.0, tput=1.0, *, base_power=1.0, base_tput=1.0, severity=0.5):
+    return PoisonSweepRow(
+        severity=severity,
+        byzantine_fraction=0.0,
+        mean_power_l=power,
+        mean_throughput_mbps=tput,
+        mean_delay_ms=1.0,
+        baseline_power_l=base_power,
+        baseline_throughput_mbps=base_tput,
+        decision_counts={},
+        guard_rejections={},
+        reports_rejected=0,
+        mean_trust_score=1.0,
+        distrust_entries=0,
+    )
+
+
+class FakeOutcome:
+    def __init__(self, rows):
+        self.rows = rows
+
+
+class TestEnvelopeChecker:
+    def test_holds_within_tolerance(self):
+        outcome = FakeOutcome([row(0.97, 0.96)])
+        assert check_safety_envelope(outcome, rel_tol=0.05) == []
+        assert not check_harm_demonstrated(outcome, rel_tol=0.05)
+
+    def test_power_violation_reported(self):
+        outcome = FakeOutcome([row(0.90, 1.0)])
+        violations = check_safety_envelope(outcome, rel_tol=0.05)
+        assert len(violations) == 1
+        assert "power" in violations[0]
+
+    def test_throughput_violation_reported(self):
+        """Power alone cannot show inflation harm (the delay floor makes
+        conservative parameters look great); the checker must watch the
+        throughput axis too."""
+        outcome = FakeOutcome([row(5.0, 0.6)])
+        violations = check_safety_envelope(outcome, rel_tol=0.05)
+        assert len(violations) == 1
+        assert "throughput" in violations[0]
+        assert check_harm_demonstrated(outcome, rel_tol=0.05)
+
+    def test_both_axes_can_fail_one_row(self):
+        outcome = FakeOutcome([row(0.5, 0.5)])
+        assert len(check_safety_envelope(outcome, rel_tol=0.05)) == 2
+
+    def test_ratio_properties(self):
+        healthy = row(2.0, 1.2, base_power=1.0, base_tput=1.0)
+        assert healthy.power_vs_baseline == pytest.approx(2.0)
+        assert healthy.throughput_vs_baseline == pytest.approx(1.2)
+        degenerate = row(1.0, 1.0, base_power=0.0, base_tput=0.0)
+        assert degenerate.power_vs_baseline == float("inf")

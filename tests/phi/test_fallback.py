@@ -3,12 +3,14 @@
 import pytest
 
 from repro.phi.channel import ChannelConfig, ControlChannel
-from repro.phi.context import CongestionContext
+from repro.phi.context import CongestionContext, CongestionLevel
 from repro.phi.fallback import (
     ContextDecision,
     ResilientContextClient,
     resilient_phi_cubic_factory,
 )
+from repro.phi.guard import ContextGuard, GuardConfig
+from repro.phi.trust import TrustConfig, TrustTracker
 from repro.phi.policy import REFERENCE_POLICY
 from repro.phi.server import ConnectionReport, ContextServer
 from repro.simnet import DumbbellConfig, DumbbellTopology, FlowSpec, Simulator
@@ -29,13 +31,13 @@ class FlakySource:
 
     def lookup(self):
         if not self.up:
-            raise RuntimeError("source down")
+            raise ConnectionError("source down")
         self.lookups += 1
         return self.context
 
     def report(self, report):
         if not self.up:
-            raise RuntimeError("source down")
+            raise ConnectionError("source down")
         self.reports.append(report)
 
 
@@ -114,7 +116,9 @@ class TestDecisions:
         source.up = False
         clock.t = 4.0
         assert client.resolve().decision is ContextDecision.STALE
-        assert client.decision_counts() == {"fresh": 1, "stale": 1, "fallback": 1}
+        assert client.decision_counts() == {
+            "fresh": 1, "stale": 1, "fallback": 1, "distrusted": 0,
+        }
 
     def test_lookup_parity_returns_idle_on_fallback(self):
         clock = Clock()
@@ -248,7 +252,7 @@ class TestModeTimeAccounting:
         client.resolve()                      # STALE at t=4: 4 s of FRESH
         clock.t = 9.0
         assert client.mode_times() == {
-            "fresh": 4.0, "stale": 5.0, "fallback": 0.0,
+            "fresh": 4.0, "stale": 5.0, "fallback": 0.0, "distrusted": 0.0,
         }
         # The closed-out ledger excludes the still-open STALE interval.
         assert client.mode_time_s["stale"] == 0.0
@@ -256,7 +260,7 @@ class TestModeTimeAccounting:
     def test_no_mode_before_first_lookup(self):
         client = ResilientContextClient(FlakySource(), now=Clock())
         assert client.mode_times() == {
-            "fresh": 0.0, "stale": 0.0, "fallback": 0.0,
+            "fresh": 0.0, "stale": 0.0, "fallback": 0.0, "distrusted": 0.0,
         }
 
     def test_telemetry_counters(self):
@@ -278,3 +282,183 @@ class TestModeTimeAccounting:
         assert counters["phi.context_decisions{decision=stale}"] == 2.0
         assert counters["phi.mode_time_s{mode=fresh}"] == 3.0
         assert counters["phi.mode_time_s{mode=stale}"] == 2.0
+
+
+class TestNarrowedExceptions:
+    """Satellite: only transport failures are masked, and they are counted."""
+
+    def test_transport_errors_counted_by_type(self):
+        clock = Clock()
+        source = FlakySource()
+        client = ResilientContextClient(source, now=clock)
+        source.up = False
+        client.resolve()
+        client.report(make_report(1))
+        assert client.transport_errors == {"ConnectionError": 2}
+
+    def test_programming_bug_propagates_from_resolve(self):
+        class BuggySource:
+            def lookup(self):
+                raise KeyError("not a transport problem")
+
+        client = ResilientContextClient(BuggySource(), now=Clock())
+        with pytest.raises(KeyError):
+            client.resolve()
+
+    def test_programming_bug_propagates_from_report(self):
+        class BuggySource:
+            def lookup(self):
+                return CongestionContext.idle()
+
+            def report(self, report):
+                raise TypeError("bad callback wiring")
+
+        client = ResilientContextClient(BuggySource(), now=Clock())
+        with pytest.raises(TypeError):
+            client.report(make_report(1))
+
+    def test_rpc_error_still_masked(self):
+        from types import SimpleNamespace
+
+        from repro.phi.channel import RpcError, RpcStatus
+
+        class RpcFailingSource:
+            def lookup(self):
+                raise RpcError(SimpleNamespace(status=RpcStatus.TIMEOUT))
+
+        client = ResilientContextClient(RpcFailingSource(), now=Clock())
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.FALLBACK
+        assert client.transport_errors == {"RpcError": 1}
+
+
+class TestGuardIntegration:
+    def test_guard_rejection_degrades_like_rpc_failure(self):
+        clock = Clock()
+        source = FlakySource()
+        guard = ContextGuard(GuardConfig(capacity_mbps=15.0))
+        client = ResilientContextClient(source, now=clock, guard=guard)
+        # fair_share inconsistent with capacity/n: 15/4 = 3.75, claim 9.
+        source.context = CongestionContext(
+            utilization=0.5, queue_delay_s=0.02, competing_senders=4.0,
+            fair_share_mbps=9.0,
+        )
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.FALLBACK
+        assert guard.rejected_count == 1
+        assert client.transport_errors == {}
+
+    def test_guard_rejection_serves_stale_cache(self):
+        clock = Clock()
+        source = FlakySource()
+        guard = ContextGuard()
+        client = ResilientContextClient(
+            source, now=clock, guard=guard, staleness_ttl_s=10.0
+        )
+        good = source.context
+        assert client.resolve().decision is ContextDecision.FRESH
+        clock.t = 2.0
+        from repro.phi.corruption import raw_context
+
+        # Bypasses __post_init__ the way a wire deserializer would.
+        source.context = raw_context(0.5, 0.02, -3.0, timestamp=2.0)
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.STALE
+        assert resolved.context is good
+
+    def test_rejected_context_never_cached(self):
+        clock = Clock()
+        source = FlakySource()
+        guard = ContextGuard()
+        client = ResilientContextClient(source, now=clock, guard=guard)
+        from repro.phi.corruption import raw_context
+
+        source.context = raw_context(float("nan"), 0.0, 1.0)
+        assert client.resolve().decision is ContextDecision.FALLBACK
+        source.up = False
+        # Nothing in the cache: degradation skips STALE entirely.
+        assert client.resolve().decision is ContextDecision.FALLBACK
+
+
+class TestDistrust:
+    def _distrusting_client(self, source, clock):
+        trust = TrustTracker(TrustConfig(min_samples=1, ewma_alpha=1.0))
+        client = ResilientContextClient(source, now=clock, trust=trust)
+        return client, trust
+
+    def test_distrusted_lookup_carries_shadow_not_context(self):
+        clock = Clock()
+        source = FlakySource()
+        client, trust = self._distrusting_client(source, clock)
+        trust.record(CongestionLevel.LOW, CongestionLevel.SEVERE)  # score -> 0
+        assert trust.distrusted
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.DISTRUSTED
+        assert resolved.context is None
+        assert resolved.shadow is source.context
+        assert not resolved.coordinated
+
+    def test_shadow_scoring_restores_trust(self):
+        clock = Clock()
+        source = FlakySource()
+        client, trust = self._distrusting_client(source, clock)
+        trust.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        resolved = client.resolve()
+        assert resolved.decision is ContextDecision.DISTRUSTED
+        # The shadow prediction turns out accurate -> trust restored.
+        predicted = resolved.shadow.level()
+        trust.record(predicted, predicted)
+        assert not trust.distrusted
+        assert client.resolve().decision is ContextDecision.FRESH
+
+    def test_mode_times_across_fresh_distrusted_fresh(self):
+        clock = Clock()
+        source = FlakySource()
+        client, trust = self._distrusting_client(source, clock)
+        assert client.resolve().decision is ContextDecision.FRESH
+        clock.t = 3.0
+        trust.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        assert client.resolve().decision is ContextDecision.DISTRUSTED
+        clock.t = 8.0
+        level = source.context.level()
+        trust.record(level, level)
+        assert client.resolve().decision is ContextDecision.FRESH
+        clock.t = 10.0
+        assert client.mode_times() == {
+            "fresh": 5.0, "stale": 0.0, "fallback": 0.0, "distrusted": 5.0,
+        }
+        assert client.decision_counts() == {
+            "fresh": 2, "stale": 0, "fallback": 0, "distrusted": 1,
+        }
+
+    def test_observe_outcome_scores_fresh_and_shadow(self):
+        from repro.transport.base import ConnectionStats
+
+        clock = Clock()
+        source = FlakySource()
+        trust = TrustTracker(TrustConfig(min_samples=100))
+        client = ResilientContextClient(source, now=clock, trust=trust)
+        resolved = client.resolve()
+        stats = ConnectionStats(flow_id=1)
+        stats.start_time, stats.end_time = 0.0, 1.0
+        stats.packets_sent = 10
+        client.observe_outcome(resolved, stats)
+        assert trust.samples == 1
+        # FALLBACK resolutions carry no prediction: no-op.
+        source.up = False
+        clock.t = 100.0  # past the staleness TTL, so no STALE answer
+        client.observe_outcome(client.resolve(), stats)
+        assert trust.samples == 1
+
+    def test_distrusted_lookup_still_flushes_reports(self):
+        clock = Clock()
+        source = FlakySource()
+        client, trust = self._distrusting_client(source, clock)
+        source.up = False
+        client.report(make_report(1))
+        assert client.pending_reports == 1
+        source.up = True
+        trust.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        assert client.resolve().decision is ContextDecision.DISTRUSTED
+        assert client.pending_reports == 0
+        assert [r.flow_id for r in source.reports] == [1]

@@ -251,3 +251,117 @@ class TestIdealOracle:
         sim, top, monitor, tracker, oracle = self._oracle()
         oracle.report(make_report(0.0))
         oracle.report_stats(ConnectionStats(flow_id=1))
+
+
+class TestRobustAggregation:
+    def _server(self, sim=None, **kwargs):
+        from repro.phi.server import RobustAggregationConfig
+
+        sim = sim or Simulator()
+        robust = RobustAggregationConfig(**kwargs)
+        return sim, ContextServer(sim, 15e6, robust=robust)
+
+    def test_config_validation(self):
+        from repro.phi.server import RobustAggregationConfig
+
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(trim_fraction=0.5)
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(influence_bound=0.5)
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(min_reports_for_trim=0)
+
+    def test_default_server_is_trusting(self):
+        sim = Simulator()
+        server = ContextServer(sim, 15e6)
+        assert server.robust is None
+        import math as _math
+
+        server.report(make_report(0.0, mean_rtt=_math.nan))
+        assert server.reports_rejected == 0  # swallowed, old behaviour
+
+    def test_malformed_reports_rejected_by_reason(self):
+        import math as _math
+
+        sim, server = self._server()
+        server.report(make_report(0.0, mean_rtt=_math.nan))
+        server.report(make_report(0.0, bytes_transferred=-1))
+        server.report(make_report(0.0, duration=-1.0))
+        server.report(make_report(0.0, loss=2.0))
+        server.report(make_report(0.0))  # honest
+        assert server.reports_rejected == 4
+        assert server.report_rejections == {
+            "non_finite": 1,
+            "negative_bytes": 1,
+            "negative_duration": 1,
+            "loss_out_of_range": 1,
+        }
+        assert len(server._reports) == 1
+
+    def test_rejected_report_does_not_release_lease(self):
+        import math as _math
+
+        sim, server = self._server()
+        server.lookup()
+        server.report(make_report(0.0, mean_rtt=_math.nan))
+        assert server.active_connections == 1
+        server.report(make_report(0.0))
+        assert server.active_connections == 0
+
+    def test_trimmed_mean_discards_outlier_queue_delay(self):
+        sim, server = self._server(trim_fraction=0.2, min_reports_for_trim=4)
+        for i in range(9):
+            server.report(make_report(0.0, mean_rtt=0.16, flow_id=i))
+        # One liar claims 10 s of queueing.
+        server.report(make_report(0.0, mean_rtt=10.15, flow_id=99))
+        q = server.estimated_queue_delay()
+        assert q == pytest.approx(0.01, abs=1e-6)
+
+    def test_ewma_fallback_below_min_reports(self):
+        sim, server = self._server(min_reports_for_trim=4)
+        server.report(make_report(0.0, mean_rtt=0.25))
+        # Only 1 report in window: the EWMA (seeded by it) answers.
+        assert server.estimated_queue_delay() == pytest.approx(0.10)
+
+    def test_influence_cap_bounds_utilization_lie(self):
+        def loaded(server, sim):
+            sim.schedule(5.0, lambda: None)
+            sim.run()
+            for i in range(8):
+                server.report(
+                    make_report(5.0, bytes_transferred=100_000, flow_id=i)
+                )
+            server.report(make_report(5.0, bytes_transferred=10**12, flow_id=99))
+
+        sim = Simulator()
+        trusting = ContextServer(sim, 15e6)
+        loaded(trusting, sim)
+        sim2, robust = self._server(influence_bound=4.0, min_reports_for_trim=4)
+        loaded(robust, sim2)
+        assert trusting.estimated_utilization() == 1.0  # saturated by the lie
+        # Honest traffic alone is ~0.085; the capped liar may nudge the
+        # estimate (one extra 4x-median contribution) but not seize it.
+        assert robust.estimated_utilization() < 0.15
+
+    def test_trimmed_loss(self):
+        sim, server = self._server(trim_fraction=0.2, min_reports_for_trim=4)
+        for i in range(9):
+            server.report(make_report(0.0, loss=0.0, flow_id=i))
+        server.report(make_report(0.0, loss=1.0, flow_id=99))
+        assert server.estimated_loss() == pytest.approx(0.0)
+
+    def test_telemetry_rejection_counter(self):
+        import math as _math
+
+        from repro import telemetry
+
+        sim, server = self._server()
+        with telemetry.use() as tele:
+            server.report(make_report(0.0, mean_rtt=_math.nan))
+            counters = tele.registry.snapshot()["counters"]
+        assert counters["phi.report_rejections{reason=non_finite}"] == 1.0
+
+    def test_report_invalid_reason_accepts_honest(self):
+        from repro.phi.server import report_invalid_reason
+
+        assert report_invalid_reason(make_report(0.0)) is None

@@ -1,0 +1,138 @@
+"""Tests for outcome-driven trust tracking."""
+
+import pytest
+
+from repro.phi.context import CongestionLevel
+from repro.phi.trust import (
+    LOSS_RATE_THRESHOLDS,
+    TrustConfig,
+    TrustTracker,
+    observed_level,
+    observed_level_from_stats,
+)
+from repro.transport.base import ConnectionStats
+
+
+class TestObservedLevel:
+    def test_quiet_connection_is_low(self):
+        assert observed_level(0.0, 0.0) is CongestionLevel.LOW
+
+    def test_loss_alone_escalates(self):
+        assert observed_level(0.0, 0.03) is CongestionLevel.HIGH
+        assert observed_level(0.0, 0.2) is CongestionLevel.SEVERE
+
+    def test_queueing_alone_escalates(self):
+        assert observed_level(0.06, 0.0) is CongestionLevel.HIGH
+
+    def test_worst_of_wins(self):
+        assert observed_level(0.3, 0.001) is CongestionLevel.SEVERE
+
+    def test_negative_inputs_clamped(self):
+        assert observed_level(-1.0, -1.0) is CongestionLevel.LOW
+
+    def test_loss_thresholds_ordered(self):
+        assert list(LOSS_RATE_THRESHOLDS) == sorted(LOSS_RATE_THRESHOLDS)
+
+    def test_from_stats(self):
+        stats = ConnectionStats(flow_id=1)
+        stats.start_time, stats.end_time = 0.0, 1.0
+        stats.packets_sent = 100
+        stats.retransmits = 10  # 10% loss -> SEVERE
+        assert observed_level_from_stats(stats) is CongestionLevel.SEVERE
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            TrustConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            TrustConfig(adjacent_credit=1.0, exact_credit=0.5)
+        with pytest.raises(ValueError):
+            TrustConfig(distrust_below=0.8, restore_above=0.7)
+        with pytest.raises(ValueError):
+            TrustConfig(min_samples=0)
+
+
+class TestTrustTracker:
+    def test_starts_fully_trusting(self):
+        tracker = TrustTracker()
+        assert tracker.score == 1.0
+        assert not tracker.distrusted
+
+    def test_exact_matches_sustain_trust(self):
+        tracker = TrustTracker()
+        for _ in range(50):
+            tracker.record(CongestionLevel.MODERATE, CongestionLevel.MODERATE)
+        assert tracker.score == pytest.approx(1.0)
+        assert not tracker.distrusted
+
+    def test_adjacent_miss_is_cheap_two_level_miss_is_not(self):
+        cfg = TrustConfig(ewma_alpha=1.0, min_samples=100)
+        tracker = TrustTracker(cfg)
+        tracker.record(CongestionLevel.LOW, CongestionLevel.MODERATE)
+        assert tracker.score == pytest.approx(cfg.adjacent_credit)
+        tracker.record(CongestionLevel.LOW, CongestionLevel.HIGH)
+        assert tracker.score == pytest.approx(0.0)
+        assert tracker.mispredictions == 1
+
+    def test_sustained_lies_trip_distrust(self):
+        tracker = TrustTracker(TrustConfig(min_samples=8))
+        for _ in range(30):
+            tracker.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        assert tracker.distrusted
+        assert tracker.distrust_entries == 1
+
+    def test_warmup_blocks_early_verdict(self):
+        tracker = TrustTracker(TrustConfig(ewma_alpha=1.0, min_samples=8))
+        for _ in range(7):
+            tracker.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        assert not tracker.distrusted  # score is 0 but warm-up holds
+
+    def test_hysteresis_restores_only_after_sustained_accuracy(self):
+        cfg = TrustConfig(
+            ewma_alpha=0.5, min_samples=1, distrust_below=0.4, restore_above=0.7
+        )
+        tracker = TrustTracker(cfg)
+        tracker.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        tracker.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+        assert tracker.distrusted
+        # One good outcome: 0.25 -> 0.625, still below restore_above.
+        tracker.record(CongestionLevel.LOW, CongestionLevel.LOW)
+        assert tracker.distrusted
+        tracker.record(CongestionLevel.LOW, CongestionLevel.LOW)
+        assert not tracker.distrusted
+        assert tracker.restorations == 1
+
+    def test_band_prevents_flapping(self):
+        """A score oscillating inside the band never toggles the state."""
+        cfg = TrustConfig(
+            ewma_alpha=0.2, min_samples=1, distrust_below=0.3, restore_above=0.8
+        )
+        tracker = TrustTracker(cfg)
+        for _ in range(100):
+            tracker.record(CongestionLevel.LOW, CongestionLevel.MODERATE)
+        # Adjacent credit 0.6 sits inside (0.3, 0.8]: trusted throughout.
+        assert not tracker.distrusted
+        assert tracker.distrust_entries == 0
+
+    def test_record_outcome_from_stats(self):
+        tracker = TrustTracker(TrustConfig(ewma_alpha=1.0, min_samples=1))
+        stats = ConnectionStats(flow_id=1)
+        stats.start_time, stats.end_time = 0.0, 1.0
+        stats.packets_sent = 100
+        stats.retransmits = 10
+        tracker.record_outcome(CongestionLevel.LOW, stats)
+        assert tracker.score == pytest.approx(0.0)
+
+    def test_telemetry(self):
+        from repro import telemetry
+
+        with telemetry.use() as tele:
+            tracker = TrustTracker(TrustConfig(ewma_alpha=1.0, min_samples=1))
+            tracker.record(CongestionLevel.LOW, CongestionLevel.SEVERE)
+            snapshot = tele.registry.snapshot()
+        assert snapshot["gauges"]["phi.trust_score"]["value"] == 0.0
+        assert (
+            snapshot["counters"]["phi.trust_transitions{to_state=distrusted}"]
+            == 1.0
+        )

@@ -187,3 +187,58 @@ class TestTelemetryOutputs:
         bad.write_text("{}")
         assert main(["telemetry", "summarize", str(bad)]) == 2
         assert "cannot read manifest" in capsys.readouterr().err
+
+
+class TestPoisonCommand:
+    MINI = [
+        "poison", "--preset", "table3-remy", "--severities", "1.0",
+        "--seeds", "0", "--modes", "garbage", "--duration", "8", "--quiet",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["poison"])
+        assert args.preset == "fig2a-low-utilization"
+        assert args.severities == [0.0, 0.5, 1.0]
+        assert args.seeds == [0, 1]
+        assert args.modes == "inflate"
+        assert not args.unguarded
+        assert not args.expect_harm
+
+    def test_int_list_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["poison", "--seeds", "x,y"])
+
+    def test_unknown_mode_exits_2(self, capsys):
+        assert main(["poison", "--modes", "gremlins"]) == 2
+        assert "unknown corruption mode" in capsys.readouterr().err
+
+    def test_guarded_garbage_holds_envelope(self, capsys):
+        """Full-severity garbage is fully rejected: the guarded run is
+        the stock baseline, so the envelope holds exactly."""
+        assert main(self.MINI) == 0
+        out = capsys.readouterr().out
+        assert "safety envelope holds" in out
+
+    def test_serial_check_bit_identical(self, capsys):
+        assert main(self.MINI + ["--serial-check"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_expect_harm_fails_when_harmless(self, capsys):
+        # Guarded garbage == baseline: no harm to demonstrate.
+        assert main(self.MINI + ["--expect-harm"]) == 1
+        assert "HARM NOT DEMONSTRATED" in capsys.readouterr().err
+
+    def test_writes_manifest_with_defence_metrics(self, tmp_path, capsys):
+        from repro.telemetry.manifest import load_manifest, validate_manifest
+
+        manifest_path = str(tmp_path / "poison.json")
+        assert main(self.MINI + ["--metrics-out", manifest_path]) == 0
+        manifest = load_manifest(manifest_path)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "poison"
+        assert manifest["config"]["modes"] == ["garbage"]
+        counters = manifest["metrics"]["counters"]
+        assert any("phi.guard_rejections" in key for key in counters)
+        assert any("phi.context_decisions" in key for key in counters)
+        assert manifest["totals"]["guard_rejections"]
+        assert manifest["points"][0]["defence"]["decision_counts"]
