@@ -12,7 +12,9 @@ without writing Python:
   severity x Byzantine report fraction, guarded or unguarded);
 - ``repro-phi ipfix`` — the Section-2.1 sharing analysis;
 - ``repro-phi diagnose`` — the Figure-5 outage detection pipeline;
-- ``repro-phi telemetry summarize`` — render a run manifest as a table.
+- ``repro-phi telemetry summarize`` — render a run manifest as a table;
+- ``repro-phi check`` — differential/metamorphic correctness oracles and
+  randomized invariant fuzzing (see :mod:`repro.simcheck`).
 
 ``cubic``, ``phi``, and ``sweep`` accept ``--metrics-out manifest.json``
 (telemetry run manifest: merged metrics, per-point provenance) and
@@ -27,6 +29,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import ExitStack
 from typing import List, Optional
@@ -67,6 +70,9 @@ from .runner import (
     append_bench_entry,
     bench_entry,
 )
+from .simcheck import ViolationReport
+from .simcheck.fuzz import draw_scenario, run_fuzz_case
+from .simcheck.oracles import ORACLES, run_oracles
 from .simnet.engine import WatchdogConfig
 from .telemetry.manifest import (
     load_manifest,
@@ -515,6 +521,60 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    names = args.oracles or None
+    try:
+        outcomes = run_oracles(names, duration_s=args.duration, seed=args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    failed = 0
+    for outcome in outcomes:
+        status = "PASS" if outcome.passed else "FAIL"
+        print(f"{status}  {outcome.name:<22s} {outcome.details}")
+        if not outcome.passed:
+            failed += 1
+            for failure in outcome.failures:
+                print(f"      {failure}")
+
+    fuzz_cases = []
+    for index in range(args.fuzz):
+        scenario = draw_scenario(args.seed + index)
+        report = ViolationReport()
+        case = {"scenario": scenario.as_dict(), "error": None}
+        try:
+            run_fuzz_case(scenario, check_report=report)
+        except Exception as exc:  # noqa: BLE001 - surfaced in the artifact
+            case["error"] = f"{type(exc).__name__}: {exc}"
+        case["report"] = report.as_dict()
+        case["passed"] = report.ok and case["error"] is None
+        fuzz_cases.append(case)
+        status = "PASS" if case["passed"] else "FAIL"
+        print(f"{status}  fuzz seed={scenario.seed:<10d} "
+              f"checks={report.checks_performed} "
+              f"violations={len(report.violations)}"
+              + (f"  error={case['error']}" if case["error"] else ""))
+        if not case["passed"]:
+            failed += 1
+            for violation in report.violations:
+                print(f"      {violation.invariant}: {violation.message}")
+
+    if args.report:
+        artifact = {
+            "oracles": [outcome.as_dict() for outcome in outcomes],
+            "fuzz": fuzz_cases,
+            "failed": failed,
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, allow_nan=False)
+        print(f"check report: {args.report}")
+
+    total = len(outcomes) + len(fuzz_cases)
+    print(f"{total - failed}/{total} checks passed")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-phi",
@@ -652,6 +712,24 @@ def build_parser() -> argparse.ArgumentParser:
     ipfix.add_argument("--minutes", type=int, default=3)
     ipfix.add_argument("--seed", type=int, default=21)
     ipfix.set_defaults(func=cmd_ipfix)
+
+    check = sub.add_parser(
+        "check",
+        help="simulation correctness oracles (differential/metamorphic/fuzz)",
+    )
+    check.add_argument(
+        "--oracle", action="append", dest="oracles", metavar="NAME",
+        choices=sorted(ORACLES),
+        help="run only this oracle (repeatable; default: all)",
+    )
+    check.add_argument("--duration", type=float, default=10.0,
+                       help="simulated seconds per oracle scenario")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--fuzz", type=int, default=0, metavar="N",
+                       help="also run N random checked scenarios")
+    check.add_argument("--report", default=None, metavar="PATH",
+                       help="write a JSON violation/oracle report here")
+    check.set_defaults(func=cmd_check)
 
     diagnose = sub.add_parser("diagnose", help="Figure-5 outage pipeline")
     diagnose.add_argument("--asn", default="isp-a")

@@ -8,10 +8,12 @@ outcome.  Benches, tests, and examples all go through these entry points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
 
+from .. import simcheck
 from ..metrics.summary import RunMetrics, summarize_connections
+from ..simcheck import CheckedSimulator, ViolationReport, checked_factory
 from ..simnet.engine import Simulator, SimWatchdog, WatchdogConfig
 from ..simnet.monitor import ActiveFlowTracker, LinkMonitor
 from ..simnet.packet import FlowIdAllocator
@@ -32,6 +34,10 @@ class ExperimentEnv:
     flow_tracker: ActiveFlowTracker
     flow_ids: FlowIdAllocator
     rngs: RngStreams
+    #: Whether this environment runs with the simcheck invariant layer.
+    checked: bool = False
+    #: Collects violations instead of raising when set (``repro check``).
+    check_report: Optional[ViolationReport] = field(default=None, repr=False)
 
     @classmethod
     def create(
@@ -40,6 +46,8 @@ class ExperimentEnv:
         seed: int = 0,
         monitor_period_s: float = 0.1,
         watchdog: Optional[WatchdogConfig] = None,
+        checked: Optional[bool] = None,
+        check_report: Optional[ViolationReport] = None,
     ) -> "ExperimentEnv":
         """Build the topology and start the bottleneck monitor.
 
@@ -48,8 +56,20 @@ class ExperimentEnv:
         :class:`~repro.simnet.engine.SimulationStalled` instead of
         spinning forever; it never alters the trajectory of a run that
         finishes within its budgets.
+
+        ``checked`` builds the environment on a
+        :class:`~repro.simcheck.CheckedSimulator` with invariant audits;
+        ``None`` (the default) defers to :func:`repro.simcheck.enabled`,
+        so ``REPRO_SIMCHECK=1`` flips every scenario in the process into
+        checked mode without touching call sites.
         """
-        sim = Simulator()
+        if checked is None:
+            checked = simcheck.enabled()
+        sim: Simulator
+        if checked:
+            sim = CheckedSimulator(report=check_report)
+        else:
+            sim = Simulator()
         if watchdog is not None:
             sim.install_watchdog(SimWatchdog(watchdog))
         topology = DumbbellTopology(sim, config or DumbbellConfig())
@@ -62,6 +82,25 @@ class ExperimentEnv:
             flow_tracker=ActiveFlowTracker(),
             flow_ids=FlowIdAllocator(),
             rngs=RngStreams(seed),
+            checked=checked,
+            check_report=check_report,
+        )
+
+    def wrap_factory(self, factory: SenderFactory) -> SenderFactory:
+        """``factory`` with TCP invariant checks when this env is checked."""
+        if not self.checked:
+            return factory
+        return checked_factory(factory, self.check_report)
+
+    def audit(self, faults: Iterable[object] = ()) -> None:
+        """Run the conservation audit over the whole topology now.
+
+        Called automatically at the end of checked scenario runs; pass
+        the run's fault objects so fault-absorbed packets are credited
+        in the wire law.
+        """
+        simcheck.audit_topology(
+            self.topology, self.sim.now, faults, self.check_report
         )
 
     @property
@@ -106,18 +145,39 @@ def run_onoff_scenario(
     seed: int = 0,
     include_unfinished: bool = False,
     watchdog: Optional[WatchdogConfig] = None,
+    checked: Optional[bool] = None,
+    check_report: Optional[ViolationReport] = None,
+    slot_order: Optional[Sequence[int]] = None,
+    monitor_period_s: float = 0.1,
 ) -> ScenarioResult:
     """Run the paper's on/off workload over a fresh dumbbell.
 
     ``factory_for_slot(index, env)`` supplies each sender slot's transport
     factory, which is how Phi coordination, partial deployment, and plain
     baselines are all expressed.
+
+    ``slot_order`` constructs the per-slot sources in a different order
+    (results stay keyed by slot).  Each slot's RNG stream is derived from
+    its index, so a permutation changes only event insertion order — the
+    flow-permutation metamorphic oracle uses this to demand identical
+    results.
     """
-    env = ExperimentEnv.create(config, seed, watchdog=watchdog)
+    env = ExperimentEnv.create(
+        config,
+        seed,
+        monitor_period_s=monitor_period_s,
+        watchdog=watchdog,
+        checked=checked,
+        check_report=check_report,
+    )
     workload = workload or OnOffConfig()
-    sources = []
-    for index in range(env.topology.config.n_senders):
-        factory = factory_for_slot(index, env)
+    n_senders = env.topology.config.n_senders
+    order = list(range(n_senders)) if slot_order is None else list(slot_order)
+    if sorted(order) != list(range(n_senders)):
+        raise ValueError(f"slot_order must permute 0..{n_senders - 1}: {order}")
+    sources_by_slot: dict = {}
+    for index in order:
+        factory = env.wrap_factory(factory_for_slot(index, env))
         source = OnOffSource(
             env.sim,
             env.topology.senders[index],
@@ -129,11 +189,14 @@ def run_onoff_scenario(
             flow_tracker=env.flow_tracker,
         )
         source.start()
-        sources.append(source)
+        sources_by_slot[index] = source
+    sources = [sources_by_slot[index] for index in range(n_senders)]
 
     env.sim.run(until=duration_s)
     for source in sources:
         source.stop()
+    if env.checked:
+        env.audit()
 
     per_sender = [src.all_stats(include_active=include_unfinished) for src in sources]
     return _summarize(env, per_sender, duration_s)
@@ -147,6 +210,8 @@ def run_long_running_scenario(
     seed: int = 0,
     warmup_s: float = 5.0,
     watchdog: Optional[WatchdogConfig] = None,
+    checked: Optional[bool] = None,
+    check_report: Optional[ViolationReport] = None,
 ) -> ScenarioResult:
     """Run persistent bulk flows (the Figure 2c setting).
 
@@ -154,11 +219,13 @@ def run_long_running_scenario(
     but utilization is reported post-warmup so slow-start transients do
     not dilute the steady-state picture.
     """
-    env = ExperimentEnv.create(config, seed, watchdog=watchdog)
+    env = ExperimentEnv.create(
+        config, seed, watchdog=watchdog, checked=checked, check_report=check_report
+    )
     n = env.topology.config.n_senders
     flows: List[LongRunningFlow] = []
     for index in range(n):
-        factory = factory_for_slot(index, env)
+        factory = env.wrap_factory(factory_for_slot(index, env))
         flows.extend(
             launch_long_running_flows(
                 env.sim,
@@ -170,6 +237,8 @@ def run_long_running_scenario(
             )
         )
     env.sim.run(until=duration_s)
+    if env.checked:
+        env.audit()
     per_sender = [[flow.finish()] for flow in flows]
     result = _summarize(env, per_sender, duration_s)
     # Recompute utilization excluding warm-up.

@@ -9,7 +9,7 @@ practical modes, and partial deployments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..metrics.summary import RunMetrics
 from ..phi.client import (
@@ -119,23 +119,33 @@ def run_cubic_fixed(
     seed: int = 0,
     duration_s: Optional[float] = None,
     watchdog: Optional[WatchdogConfig] = None,
+    checked: Optional[bool] = None,
+    check_report=None,
+    slot_order: Optional[Sequence[int]] = None,
+    monitor_period_s: float = 0.1,
 ) -> ScenarioResult:
     """All senders run Cubic with one fixed parameter setting.
 
     This is the paper's "simplified setting, where ... all the TCP Cubic
     senders use the same parameter settings that is fixed for the
     duration of the run".  ``watchdog`` bounds the run's event/wall
-    budgets (see :class:`~repro.simnet.engine.SimWatchdog`).
+    budgets (see :class:`~repro.simnet.engine.SimWatchdog`);
+    ``checked``/``check_report``/``slot_order`` feed the simcheck
+    invariant layer and oracles (see :mod:`repro.simcheck`).
     """
     slots = uniform_slots(lambda env: plain_cubic_factory(params))
     duration = duration_s if duration_s is not None else preset.duration_s
     if preset.workload is None:
+        if slot_order is not None:
+            raise ValueError("slot_order applies to on/off workloads only")
         return run_long_running_scenario(
             slots,
             config=preset.config,
             duration_s=duration,
             seed=seed,
             watchdog=watchdog,
+            checked=checked,
+            check_report=check_report,
         )
     return run_onoff_scenario(
         slots,
@@ -144,6 +154,10 @@ def run_cubic_fixed(
         duration_s=duration,
         seed=seed,
         watchdog=watchdog,
+        checked=checked,
+        check_report=check_report,
+        slot_order=slot_order,
+        monitor_period_s=monitor_period_s,
     )
 
 

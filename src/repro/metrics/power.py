@@ -22,17 +22,20 @@ MIN_DELAY_MS = 1e-3
 
 def power(throughput_mbps: float, delay_ms: float) -> float:
     """Kleinrock network power P = r / d."""
-    if throughput_mbps < 0:
-        raise ValueError(f"throughput must be >= 0, got {throughput_mbps}")
-    if delay_ms < 0:
-        raise ValueError(f"delay must be >= 0, got {delay_ms}")
+    # NaN compares false against everything, so a bare ``< 0`` guard lets
+    # power(nan, d) through and poisons every downstream P_l aggregate;
+    # require finite inputs explicitly.
+    if not math.isfinite(throughput_mbps) or throughput_mbps < 0:
+        raise ValueError(f"throughput must be finite and >= 0, got {throughput_mbps}")
+    if not math.isfinite(delay_ms) or delay_ms < 0:
+        raise ValueError(f"delay must be finite and >= 0, got {delay_ms}")
     return throughput_mbps / max(delay_ms, MIN_DELAY_MS)
 
 
 def power_with_loss(throughput_mbps: float, delay_ms: float, loss_rate: float) -> float:
     """The paper's loss-extended power, P_l = r (1 - l) / d."""
-    if not 0.0 <= loss_rate <= 1.0:
-        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    if not math.isfinite(loss_rate) or not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be finite and in [0, 1], got {loss_rate}")
     return power(throughput_mbps, delay_ms) * (1.0 - loss_rate)
 
 

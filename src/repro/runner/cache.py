@@ -113,7 +113,10 @@ class DiskCache:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(envelope, handle)
+                # allow_nan=False: fail loudly at write time rather than
+                # persist non-standard Infinity/NaN tokens other JSON
+                # parsers reject (see FlowRecord.min_rtt serialization).
+                json.dump(envelope, handle, allow_nan=False)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, path)

@@ -71,7 +71,9 @@ def sweep_key(
 def _record_line(result: PointResult) -> str:
     payload = result.to_dict()
     checksum = content_hash(payload)
-    return json.dumps({"checksum": checksum, "result": payload}) + "\n"
+    # allow_nan=False: the journal must stay strict JSON (non-standard
+    # Infinity/NaN tokens would break interoperable parsers).
+    return json.dumps({"checksum": checksum, "result": payload}, allow_nan=False) + "\n"
 
 
 def _parse_record(line: str) -> Optional[PointResult]:

@@ -22,7 +22,10 @@ from ..workload.onoff import OnOffConfig
 #: queue accounting, transport behaviour, workload draws ...).
 #: v3: LinkMonitor samples on a drift-free epoch + k*period grid, which
 #: moves sample times (and hence mean_utilization) at float-ulp scale.
-ENGINE_SIGNATURE = "phi-simnet-v3-monitor-grid"
+#: v4: Cubic's TCP-friendly window follows the Ha et al. law (epoch
+#: window origin, t = elapsed + rtt) and ACKs echoing a legitimate 0.0
+#: send time are now RTT-sampled; both change trajectories.
+ENGINE_SIGNATURE = "phi-simnet-v4-cubic-wlaw"
 
 
 def canonical_json(payload: Any) -> str:

@@ -9,6 +9,7 @@ lets the determinism tests compare serial and parallel runs with ``==``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -69,7 +70,10 @@ class FlowRecord:
             "timeouts": self.timeouts,
             "fast_retransmits": self.fast_retransmits,
             "rtt_samples": list(self.rtt_samples),
-            "min_rtt": self.min_rtt,
+            # A zero-sample flow has min_rtt = inf, which is not valid
+            # JSON (json.dump emits the non-standard ``Infinity``); it
+            # round-trips as null instead.
+            "min_rtt": self.min_rtt if math.isfinite(self.min_rtt) else None,
             "completed": self.completed,
         }
 
@@ -86,7 +90,7 @@ class FlowRecord:
             timeouts=int(data["timeouts"]),
             fast_retransmits=int(data["fast_retransmits"]),
             rtt_samples=tuple(float(x) for x in data["rtt_samples"]),
-            min_rtt=float(data["min_rtt"]),
+            min_rtt=math.inf if data["min_rtt"] is None else float(data["min_rtt"]),
             completed=bool(data["completed"]),
         )
 

@@ -1,0 +1,196 @@
+"""A :class:`Simulator` subclass that verifies engine invariants as it runs.
+
+The checked run loop mirrors :meth:`repro.simnet.engine.Simulator.run`
+exactly — same watchdog placement, same ``until`` restore, same profile
+and telemetry accounting — and adds three families of checks:
+
+- **clock monotonicity**: every executed event fires at a time ``>=`` the
+  current clock, and no callback rewinds the clock behind the engine's
+  back;
+- **heap integrity**: the calendar's heap property holds and the side
+  entry table is consistent with it (every live entry has exactly one
+  heap item), verified every ``heap_check_interval`` events and at the
+  end of each ``run()``;
+- **schedule sanity**: inherited from the base engine (NaN and
+  past-scheduling already raise there).
+
+Semantic equivalence with the unchecked engine is itself enforced by the
+checked-vs-unchecked differential oracle in
+:mod:`repro.simcheck.oracles`, which requires bit-identical results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from collections import Counter as _Counter
+from typing import Optional
+
+from ..simnet.engine import SimulationError, Simulator
+from ..telemetry import session as _telemetry_session
+from .violations import InvariantViolation, ViolationReport, record_violation
+
+#: Default events between full calendar-consistency scans.  The scan is
+#: O(pending events); at the default cadence its cost is amortized far
+#: below the per-event work of a realistic scenario.
+DEFAULT_HEAP_CHECK_INTERVAL = 4096
+
+
+class CheckedSimulator(Simulator):
+    """Drop-in :class:`Simulator` with runtime invariant checking.
+
+    Parameters
+    ----------
+    heap_check_interval:
+        Events between full heap/entry-table consistency scans (the
+        cheap per-event clock checks always run).
+    report:
+        Optional :class:`ViolationReport`; when given, violations are
+        collected there instead of raised.
+    """
+
+    def __init__(
+        self,
+        heap_check_interval: int = DEFAULT_HEAP_CHECK_INTERVAL,
+        report: Optional[ViolationReport] = None,
+    ) -> None:
+        if heap_check_interval < 1:
+            raise ValueError(
+                f"heap_check_interval must be >= 1: {heap_check_interval}"
+            )
+        super().__init__()
+        self.heap_check_interval = heap_check_interval
+        self.report = report
+        self.checks_performed = 0
+
+    # ------------------------------------------------------------------
+    # Invariant checks
+    # ------------------------------------------------------------------
+    def verify_heap(self) -> None:
+        """Verify the calendar: heap property + entry-table consistency."""
+        heap = self._heap
+        for index in range(1, len(heap)):
+            parent = (index - 1) >> 1
+            if heap[parent] > heap[index]:
+                self._violation(
+                    "engine.heap_order",
+                    f"heap[{parent}]={heap[parent]} > heap[{index}]={heap[index]}",
+                )
+                return
+        seq_counts = _Counter(seq for _, seq in heap)
+        for seq, count in seq_counts.items():
+            if count > 1:
+                self._violation(
+                    "engine.heap_duplicate",
+                    f"event seq {seq} appears {count} times in the calendar",
+                )
+                return
+        missing = [seq for seq in self._entries if seq not in seq_counts]
+        if missing:
+            self._violation(
+                "engine.heap_entry_orphan",
+                f"{len(missing)} live entries have no heap item "
+                f"(first: seq {missing[0]})",
+            )
+            return
+        for _, seq in heap:
+            entry = self._entries.get(seq)
+            if entry is not None and not callable(entry[0]):
+                self._violation(
+                    "engine.entry_not_callable",
+                    f"entry for seq {seq} holds non-callable "
+                    f"{type(entry[0]).__name__}",
+                )
+                return
+        self.checks_performed += 1
+
+    def _violation(self, invariant: str, message: str, **details: object) -> None:
+        record_violation(
+            InvariantViolation(
+                invariant,
+                "simulator",
+                message,
+                sim_time=self._now,
+                details=dict(details) if details else None,
+            ),
+            self.report,
+        )
+
+    # ------------------------------------------------------------------
+    # Checked run loop (mirror of Simulator.run + checks)
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        profile = self._profile
+        started = _time.perf_counter() if profile is not None else 0.0
+        events_before = self._events_processed
+        heap = self._heap
+        entries = self._entries
+        pop = heapq.heappop
+        executed = 0
+        watchdog = self._watchdog
+        if watchdog is not None:
+            watchdog.arm()
+        check_countdown = self.heap_check_interval
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                if watchdog is not None:
+                    # Checked before the pop so a raised SimulationStalled
+                    # never discards the event it interrupted.
+                    watchdog.check(self)
+                item = pop(heap)
+                entry = entries.pop(item[1], None)
+                if entry is None:
+                    continue  # cancelled; discard lazily
+                time = item[0]
+                if until is not None and time > until:
+                    # Not due yet: restore the event and stop.
+                    entries[item[1]] = entry
+                    heapq.heappush(heap, item)
+                    break
+                if time < self._now:
+                    self._violation(
+                        "engine.clock_monotonic",
+                        f"event seq {item[1]} fires at {time} < now {self._now}",
+                        event_time=time,
+                    )
+                self._now = time
+                self._events_processed += 1
+                executed += 1
+                entry[0](*entry[1])
+                self.checks_performed += 1
+                if self._now != time:
+                    self._violation(
+                        "engine.clock_tampered",
+                        f"callback moved the clock from {time} to {self._now}",
+                        event_time=time,
+                    )
+                    self._now = time  # restore so later checks aren't cascaded noise
+                check_countdown -= 1
+                if check_countdown <= 0:
+                    check_countdown = self.heap_check_interval
+                    self.verify_heap()
+            self.verify_heap()
+        finally:
+            self._running = False
+            if profile is not None:
+                profile.run_calls += 1
+                profile.wall_seconds += _time.perf_counter() - started
+                profile.events += self._events_processed - events_before
+            tele = _telemetry_session()
+            if tele.enabled:
+                registry = tele.registry
+                registry.counter("sim.events").inc(
+                    self._events_processed - events_before
+                )
+                registry.counter("sim.run_calls").inc()
+                registry.gauge("sim.pending_events").set(len(entries))
+                registry.gauge("sim.clock_s").set(self._now)
+        if until is not None and self._now < until:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self._now = until

@@ -1,0 +1,425 @@
+"""Differential and metamorphic oracles for the simulation stack.
+
+Each oracle replays a canonical scenario two ways that *must* agree —
+bit-for-bit for the differential pairs, within declared tolerances for
+the metamorphic transforms — and reports what it compared:
+
+- **checked vs unchecked**: the :class:`~repro.simcheck.CheckedSimulator`
+  must not perturb a single bit of the simulation outcome;
+- **flow-start permutation**: constructing the per-slot sources in a
+  different order (identical per-slot seeds) must not change results;
+- **serial vs parallel**: the sweep runner's pool must be bit-identical
+  to its single-process baseline;
+- **grid permutation**: sweeping a permuted grid must produce the same
+  per-key results;
+- **time dilation** (fixed-BDP rescale): dividing bandwidth by ``k`` and
+  multiplying every time constant by ``k`` keeps the bandwidth-delay
+  product fixed, so throughput scales by ``1/k``, delays by ``k``, the
+  power metric P_l by ``1/k^2``, and dimensionless outcomes (loss rate,
+  utilization, connection count) stay put.  With a power-of-two ``k``
+  every scaled float is exact, so the only divergence source is the
+  *unscaled* RTO floor/initial constants (RFC 6298) — the declared
+  tolerances below absorb it;
+- **unit rescale**: re-expressing throughput/delay in different units
+  multiplies every P_l by one constant, so P_l *ratios* between
+  operating points are invariant.
+
+This module intentionally lives outside the ``repro.simcheck`` package
+``__init__`` import graph: it imports the experiment and runner layers,
+which themselves import ``repro.simcheck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..experiments.dumbbell import ScenarioResult
+from ..experiments.scenarios import TABLE3_REMY, ScenarioPreset, run_cubic_fixed
+from ..metrics.power import power_with_loss
+from ..runner import NullCache, SweepRunner
+from ..transport.cubic import CubicParams
+from ..workload.onoff import OnOffConfig
+from .violations import ViolationReport
+
+#: Declared tolerances for the time-dilation oracle.  The simulation
+#: rescales exactly (power-of-two k) except where the RFC 6298 RTO
+#: floor/initial constants enter; these bounds absorb that divergence.
+TIME_DILATION_REL_TOL = 0.05
+TIME_DILATION_LOSS_ABS_TOL = 0.005
+
+#: Tolerance for the unit-rescale ratio invariance (pure float rounding).
+UNIT_RESCALE_REL_TOL = 1e-9
+
+#: Reduced sweep grid for the runner oracles: enough points to exercise
+#: ordering and merge paths without dominating wall time.
+_ORACLE_GRID = (
+    CubicParams.default(),
+    CubicParams(window_init=4.0, initial_ssthresh=32.0, beta=0.5),
+    CubicParams(window_init=2.0, initial_ssthresh=8.0, beta=0.3),
+)
+
+
+@dataclass
+class OracleOutcome:
+    """One oracle's verdict: what it compared and every mismatch found."""
+
+    name: str
+    passed: bool
+    failures: List[str] = field(default_factory=list)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "failures": list(self.failures),
+            "details": dict(self.details),
+        }
+
+
+def _compare_scenarios(a: ScenarioResult, b: ScenarioResult) -> List[str]:
+    """Bit-identity failures between two scenario results (empty = equal)."""
+    from ..runner.records import flow_records
+
+    failures: List[str] = []
+    if a.metrics != b.metrics:
+        failures.append(f"metrics differ: {a.metrics} vs {b.metrics}")
+    if a.bottleneck_drop_rate != b.bottleneck_drop_rate:
+        failures.append(
+            f"drop rate differs: {a.bottleneck_drop_rate} vs {b.bottleneck_drop_rate}"
+        )
+    if a.mean_utilization != b.mean_utilization:
+        failures.append(
+            f"utilization differs: {a.mean_utilization} vs {b.mean_utilization}"
+        )
+    flows_a = flow_records(a.per_sender_stats)
+    flows_b = flow_records(b.per_sender_stats)
+    if len(flows_a) != len(flows_b):
+        failures.append(f"flow count differs: {len(flows_a)} vs {len(flows_b)}")
+    else:
+        for fa, fb in zip(flows_a, flows_b):
+            if fa != fb:
+                failures.append(f"flow {fa.flow_id} differs: {fa} vs {fb}")
+                break
+    return failures
+
+
+def oracle_checked_vs_unchecked(
+    preset: ScenarioPreset = TABLE3_REMY,
+    duration_s: float = 10.0,
+    seed: int = 0,
+) -> OracleOutcome:
+    """The invariant layer must not change a single output bit."""
+    plain = run_cubic_fixed(
+        CubicParams.default(), preset, seed=seed, duration_s=duration_s, checked=False
+    )
+    report = ViolationReport()
+    checked = run_cubic_fixed(
+        CubicParams.default(),
+        preset,
+        seed=seed,
+        duration_s=duration_s,
+        checked=True,
+        check_report=report,
+    )
+    failures = _compare_scenarios(plain, checked)
+    for violation in report.violations:
+        failures.append(f"invariant violation under checked run: {violation}")
+    return OracleOutcome(
+        name="checked-vs-unchecked",
+        passed=not failures,
+        failures=failures,
+        details={
+            "connections": plain.connections,
+            "checks_performed": report.checks_performed,
+        },
+    )
+
+
+def oracle_flow_permutation(
+    preset: ScenarioPreset = TABLE3_REMY,
+    duration_s: float = 10.0,
+    seed: int = 0,
+    slot_order: Optional[Sequence[int]] = None,
+) -> OracleOutcome:
+    """Permuting source construction order must not change results.
+
+    Every slot's RNG stream is keyed by its index, so construction order
+    only permutes event-queue insertion sequence numbers — which must be
+    invisible as long as no two slots tie on an event timestamp.
+    """
+    if preset.workload is None:
+        raise ValueError("flow permutation oracle needs an on/off preset")
+    n = preset.config.n_senders
+    if slot_order is None:
+        # A fixed full derangement: reversal moves every slot when n > 1.
+        slot_order = list(reversed(range(n)))
+    baseline = run_cubic_fixed(
+        CubicParams.default(), preset, seed=seed, duration_s=duration_s
+    )
+    permuted = run_cubic_fixed(
+        CubicParams.default(),
+        preset,
+        seed=seed,
+        duration_s=duration_s,
+        slot_order=slot_order,
+    )
+    failures = _compare_scenarios(baseline, permuted)
+    return OracleOutcome(
+        name="flow-permutation",
+        passed=not failures,
+        failures=failures,
+        details={"slot_order": list(slot_order), "connections": baseline.connections},
+    )
+
+
+def _sweep(
+    preset: ScenarioPreset,
+    duration_s: float,
+    seed: int,
+    grid: Sequence[CubicParams],
+    workers: int,
+    parallel: bool,
+):
+    runner = SweepRunner(
+        preset, duration_s=duration_s, n_workers=workers, cache=NullCache()
+    )
+    if parallel:
+        return runner.run(grid, n_runs=2, base_seed=seed)
+    return runner.run_serial(grid, n_runs=2, base_seed=seed)
+
+
+def oracle_serial_vs_parallel(
+    preset: ScenarioPreset = TABLE3_REMY,
+    duration_s: float = 5.0,
+    seed: int = 0,
+    workers: int = 2,
+) -> OracleOutcome:
+    """The worker pool must be bit-identical to the serial baseline."""
+    serial = _sweep(preset, duration_s, seed, _ORACLE_GRID, 1, parallel=False)
+    parallel = _sweep(preset, duration_s, seed, _ORACLE_GRID, workers, parallel=True)
+    failures: List[str] = []
+    if len(serial.points) != len(parallel.points):
+        failures.append(
+            f"result count differs: {len(serial.points)} vs {len(parallel.points)}"
+        )
+    else:
+        for index, (a, b) in enumerate(zip(serial.points, parallel.points)):
+            if not a.identical_to(b):
+                failures.append(f"point {index} (key {a.key[:12]}…) differs")
+    return OracleOutcome(
+        name="serial-vs-parallel",
+        passed=not failures,
+        failures=failures,
+        details={"points": len(serial.points), "workers": workers},
+    )
+
+
+def oracle_grid_permutation(
+    preset: ScenarioPreset = TABLE3_REMY,
+    duration_s: float = 5.0,
+    seed: int = 0,
+) -> OracleOutcome:
+    """Sweeping a permuted grid must give the same per-key results."""
+    forward = _sweep(preset, duration_s, seed, _ORACLE_GRID, 1, parallel=False)
+    reversed_grid = tuple(reversed(_ORACLE_GRID))
+    backward = _sweep(preset, duration_s, seed, reversed_grid, 1, parallel=False)
+    failures: List[str] = []
+    by_key = {result.key: result for result in backward.points}
+    for result in forward.points:
+        other = by_key.get(result.key)
+        if other is None:
+            failures.append(f"key {result.key[:12]}… missing from permuted sweep")
+        elif not result.identical_to(other):
+            failures.append(f"key {result.key[:12]}… differs across grid orders")
+    return OracleOutcome(
+        name="grid-permutation",
+        passed=not failures,
+        failures=failures,
+        details={"points": len(forward.points)},
+    )
+
+
+def dilated_preset(preset: ScenarioPreset, k: float) -> ScenarioPreset:
+    """``preset`` rescaled by time factor ``k`` at fixed BDP.
+
+    Bandwidths divide by ``k``; every time constant (RTT, off periods,
+    start jitter, duration) multiplies by ``k``.  Byte quantities are
+    untouched, so bandwidth x delay — and with it the buffer in bytes —
+    is invariant.
+    """
+    if preset.workload is None:
+        raise ValueError("time dilation oracle needs an on/off preset")
+    config = replace(
+        preset.config,
+        bottleneck_bandwidth_bps=preset.config.bottleneck_bandwidth_bps / k,
+        access_bandwidth_bps=preset.config.access_bandwidth_bps / k,
+        rtt_s=preset.config.rtt_s * k,
+    )
+    workload = replace(
+        preset.workload,
+        mean_off_s=preset.workload.mean_off_s * k,
+        start_jitter_s=preset.workload.start_jitter_s * k,
+    )
+    return replace(
+        preset,
+        name=f"{preset.name}-dilated-{k:g}x",
+        config=config,
+        workload=workload,
+        duration_s=preset.duration_s * k,
+    )
+
+
+def _rel_err(observed: float, expected: float) -> float:
+    if expected == 0.0:
+        return abs(observed)
+    return abs(observed - expected) / abs(expected)
+
+
+def oracle_time_dilation(
+    preset: ScenarioPreset = TABLE3_REMY,
+    duration_s: float = 10.0,
+    seed: int = 0,
+    k: float = 2.0,
+) -> OracleOutcome:
+    """Fixed-BDP rescale: r -> r/k, d -> d*k, P_l -> P_l/k^2."""
+    baseline = run_cubic_fixed(
+        CubicParams.default(), preset, seed=seed, duration_s=duration_s
+    )
+    scaled_preset = dilated_preset(replace(preset, duration_s=duration_s), k)
+    scaled = run_cubic_fixed(
+        CubicParams.default(),
+        scaled_preset,
+        seed=seed,
+        duration_s=scaled_preset.duration_s,
+        monitor_period_s=0.1 * k,
+    )
+    failures: List[str] = []
+    checks = {
+        "throughput_mbps": (
+            scaled.metrics.throughput_mbps,
+            baseline.metrics.throughput_mbps / k,
+        ),
+        "queueing_delay_ms": (
+            scaled.metrics.queueing_delay_ms,
+            baseline.metrics.queueing_delay_ms * k,
+        ),
+        "mean_rtt_ms": (scaled.metrics.mean_rtt_ms, baseline.metrics.mean_rtt_ms * k),
+        "mean_utilization": (
+            scaled.metrics.mean_utilization,
+            baseline.metrics.mean_utilization,
+        ),
+    }
+    errors: Dict[str, float] = {}
+    for label, (observed, expected) in checks.items():
+        err = _rel_err(observed, expected)
+        errors[label] = err
+        if err > TIME_DILATION_REL_TOL:
+            failures.append(
+                f"{label}: observed {observed:.6g}, predicted {expected:.6g} "
+                f"(rel err {err:.3g} > {TIME_DILATION_REL_TOL})"
+            )
+    loss_diff = abs(scaled.metrics.loss_rate - baseline.metrics.loss_rate)
+    errors["loss_rate"] = loss_diff
+    if loss_diff > TIME_DILATION_LOSS_ABS_TOL:
+        failures.append(
+            f"loss_rate: {scaled.metrics.loss_rate:.6g} vs "
+            f"{baseline.metrics.loss_rate:.6g} (abs diff {loss_diff:.3g})"
+        )
+    base_power = power_with_loss(
+        baseline.metrics.throughput_mbps,
+        baseline.metrics.queueing_delay_ms,
+        baseline.metrics.loss_rate,
+    )
+    scaled_power = power_with_loss(
+        scaled.metrics.throughput_mbps,
+        scaled.metrics.queueing_delay_ms,
+        scaled.metrics.loss_rate,
+    )
+    power_err = _rel_err(scaled_power, base_power / (k * k))
+    errors["power"] = power_err
+    if power_err > TIME_DILATION_REL_TOL:
+        failures.append(
+            f"P_l: observed {scaled_power:.6g}, predicted "
+            f"{base_power / (k * k):.6g} (rel err {power_err:.3g})"
+        )
+    return OracleOutcome(
+        name="time-dilation",
+        passed=not failures,
+        failures=failures,
+        details={"k": k, "relative_errors": errors},
+    )
+
+
+def oracle_unit_rescale() -> OracleOutcome:
+    """Unit changes scale every P_l equally, so P_l ratios are invariant."""
+    operating_points = [
+        (1.2, 37.0, 0.0),
+        (4.5, 58.5, 0.013),
+        (12.0, 141.0, 0.08),
+        (0.31, 9.25, 0.002),
+    ]
+    # (throughput scale, delay scale): e.g. Mbit/s -> kbit/s, ms -> s.
+    unit_scales = [(1e3, 1.0), (1.0, 10.0), (8.0, 0.25), (1e3, 10.0)]
+    base = [power_with_loss(r, d, l) for r, d, l in operating_points]
+    failures: List[str] = []
+    worst = 0.0
+    for r_scale, d_scale in unit_scales:
+        rescaled = [
+            power_with_loss(r * r_scale, d * d_scale, l)
+            for r, d, l in operating_points
+        ]
+        for i in range(len(operating_points)):
+            for j in range(i + 1, len(operating_points)):
+                expected = base[i] / base[j]
+                observed = rescaled[i] / rescaled[j]
+                err = _rel_err(observed, expected)
+                worst = max(worst, err)
+                if err > UNIT_RESCALE_REL_TOL:
+                    failures.append(
+                        f"P_l ratio {i}/{j} drifts under unit scale "
+                        f"({r_scale}, {d_scale}): {observed!r} vs {expected!r}"
+                    )
+    return OracleOutcome(
+        name="unit-rescale",
+        passed=not failures,
+        failures=failures,
+        details={"worst_relative_error": worst},
+    )
+
+
+#: Oracle registry for the CLI: name -> zero-config callable.
+ORACLES = {
+    "checked-vs-unchecked": oracle_checked_vs_unchecked,
+    "flow-permutation": oracle_flow_permutation,
+    "serial-vs-parallel": oracle_serial_vs_parallel,
+    "grid-permutation": oracle_grid_permutation,
+    "time-dilation": oracle_time_dilation,
+    "unit-rescale": oracle_unit_rescale,
+}
+
+
+def run_oracles(
+    names: Optional[Sequence[str]] = None,
+    duration_s: float = 10.0,
+    seed: int = 0,
+) -> List[OracleOutcome]:
+    """Run the selected oracles (all by default) and return their outcomes."""
+    selected = list(ORACLES) if not names else list(names)
+    outcomes: List[OracleOutcome] = []
+    for name in selected:
+        try:
+            oracle = ORACLES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown oracle {name!r}; known: {', '.join(sorted(ORACLES))}"
+            ) from None
+        if name == "unit-rescale":
+            outcomes.append(oracle())
+        elif name in ("serial-vs-parallel", "grid-permutation"):
+            # Sweeps run several points; keep each one short.
+            outcomes.append(oracle(duration_s=min(duration_s, 5.0), seed=seed))
+        else:
+            outcomes.append(oracle(duration_s=duration_s, seed=seed))
+    return outcomes

@@ -1,0 +1,127 @@
+"""TCP sender invariant checks and zero-overhead installation hooks.
+
+Checks run at the sender's *stable points* — after a fully processed ACK
+(:meth:`~repro.transport.base.TcpSender.handle_packet`) and after an RTO
+fires — when the window bookkeeping must be consistent:
+
+- ``0 <= snd_una <= snd_nxt <= flow_size``;
+- ``cwnd >= 1`` (every flavour, including the whisker table, clamps at
+  one segment);
+- ``pipe_segments >= 0`` and the SACK scoreboard never covers more than
+  the outstanding byte range;
+- RTO timer discipline: a finished sender has no armed RTO, and a sender
+  with data outstanding always has one.
+
+Installation is per-instance monkeypatching (``install_sender_checks``
+wraps ``handle_packet``/``_on_rto`` as instance attributes), so senders
+in an unchecked run carry no wrapper and pay exactly nothing — the same
+strict no-op contract as telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..transport.base import TcpSender
+from ..workload.onoff import SenderFactory
+from .violations import InvariantViolation, ViolationReport, record_violation
+
+#: Slack for float window comparisons (cwnd is a float of segments).
+_CWND_EPSILON = 1e-9
+
+
+def check_sender_invariants(
+    sender: TcpSender,
+    report: Optional[ViolationReport] = None,
+) -> None:
+    """Verify one sender's window/timer invariants at a stable point."""
+    subject = f"flow-{sender.spec.flow_id}"
+    now = sender.sim.now
+
+    def fail(invariant: str, message: str, **details: float) -> None:
+        record_violation(
+            InvariantViolation(
+                invariant, subject, message, sim_time=now, details=dict(details)
+            ),
+            report,
+        )
+
+    if not 0 <= sender.snd_una <= sender.snd_nxt <= sender.flow_size:
+        fail(
+            "tcp.sequence_order",
+            f"snd_una={sender.snd_una} snd_nxt={sender.snd_nxt} "
+            f"flow_size={sender.flow_size} out of order",
+            snd_una=sender.snd_una,
+            snd_nxt=sender.snd_nxt,
+        )
+    if not math.isfinite(sender.cwnd) or sender.cwnd < 1.0 - _CWND_EPSILON:
+        fail("tcp.cwnd_floor", f"cwnd={sender.cwnd} below one segment", cwnd=sender.cwnd)
+    if sender.pipe_segments < 0:
+        fail(
+            "tcp.pipe_negative",
+            f"pipe_segments={sender.pipe_segments}",
+            pipe=sender.pipe_segments,
+        )
+    sacked = sender._sacked.total_bytes
+    outstanding = sender.snd_nxt - sender.snd_una
+    if sacked > outstanding:
+        fail(
+            "tcp.sack_overrun",
+            f"SACK scoreboard covers {sacked}B of {outstanding}B outstanding",
+            sacked=sacked,
+            outstanding=outstanding,
+        )
+
+    rto_armed = sender._rto_handle is not None and not sender._rto_handle.cancelled
+    if sender.finished and rto_armed:
+        fail("tcp.rto_after_finish", "RTO armed on a finished sender")
+    if not sender.finished and outstanding > 0 and not rto_armed:
+        fail(
+            "tcp.rto_disarmed",
+            f"{outstanding}B outstanding but no RTO armed",
+            outstanding=outstanding,
+        )
+    if report is not None:
+        report.counted(6)
+
+
+def install_sender_checks(
+    sender: TcpSender,
+    report: Optional[ViolationReport] = None,
+) -> TcpSender:
+    """Wrap ``sender`` so invariants are verified at every stable point.
+
+    Wraps ``handle_packet`` and ``_on_rto`` as instance attributes; call
+    before :meth:`~repro.transport.base.TcpSender.start` so the first
+    armed timer resolves the wrapped method.  Returns the sender.
+    """
+    original_handle = sender.handle_packet
+    original_on_rto = sender._on_rto
+
+    def checked_handle(packet) -> None:
+        original_handle(packet)
+        check_sender_invariants(sender, report)
+
+    def checked_on_rto() -> None:
+        original_on_rto()
+        check_sender_invariants(sender, report)
+
+    sender.handle_packet = checked_handle  # type: ignore[method-assign]
+    sender._on_rto = checked_on_rto  # type: ignore[method-assign]
+    return sender
+
+
+def checked_factory(
+    factory: SenderFactory,
+    report: Optional[ViolationReport] = None,
+) -> SenderFactory:
+    """A :class:`SenderFactory` whose senders carry invariant checks."""
+
+    def build(
+        sim, host, spec, flow_size_bytes: int, on_complete: Callable
+    ) -> TcpSender:
+        sender = factory(sim, host, spec, flow_size_bytes, on_complete)
+        return install_sender_checks(sender, report)
+
+    return build

@@ -58,6 +58,15 @@ class Link:
         self._busy = False
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
+        # Conservation ledger (see repro.simcheck.conservation): every
+        # packet offered to the link is eventually transmitted, queued,
+        # dropped/flushed by the queue, or in serialization; every
+        # transmitted packet is delivered unless a fault absorbs it or it
+        # is still propagating.  Plain int increments, negligible cost.
+        self.bytes_offered = 0
+        self.packets_offered = 0
+        self.bytes_delivered = 0
+        self.packets_delivered = 0
         self._busy_seconds = 0.0
         self._tx_started_at = 0.0
         self.created_at = sim.now
@@ -81,6 +90,8 @@ class Link:
         If the transmitter is idle the packet goes straight to the wire;
         otherwise it joins the queue (and may be dropped there).
         """
+        self.packets_offered += 1
+        self.bytes_offered += packet.size_bytes
         if self._busy:
             self.queue.enqueue(packet)
             return
@@ -107,6 +118,8 @@ class Link:
         if self.dst_node is None:
             raise RuntimeError(f"link {self.name} has no destination node attached")
         packet.hops += 1
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size_bytes
         self.dst_node.receive(packet, self)
 
     def utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:

@@ -47,6 +47,7 @@ class Host(Node):
         self._uplink: Optional[Link] = None
         self._routes: Dict[str, Link] = {}
         self._default_handler: Optional[Callable[[Packet], None]] = None
+        self.packets_discarded = 0
 
     def set_uplink(self, link: Link) -> None:
         """Set the default outbound link."""
@@ -84,8 +85,11 @@ class Host(Node):
             agent.handle_packet(packet)
         elif self._default_handler is not None:
             self._default_handler(packet)
-        # Packets for unknown flows with no default handler are silently
-        # discarded, matching what a real host does for closed ports.
+        else:
+            # Packets for unknown flows with no default handler are
+            # discarded, matching what a real host does for closed ports;
+            # counted so conservation audits can account for them.
+            self.packets_discarded += 1
 
 
 class Router(Node):

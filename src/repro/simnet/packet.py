@@ -10,7 +10,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import Optional, Tuple
 
 #: Maximum segment size used throughout the reproduction, in bytes.  The
 #: paper's ns-2 experiments use 1000-byte packets plus a 40-byte header;
@@ -100,7 +100,10 @@ class Packet:
         )
         self.sent_at = sent_at
         self.enqueued_at = 0.0
-        self.echo_timestamp = 0.0
+        # None means "no timestamp echoed", which is distinct from a
+        # legitimate echo of 0.0 (a packet sent at sim time zero) — see
+        # TcpSender._process_ack, which must RTT-sample the latter.
+        self.echo_timestamp: Optional[float] = None
         self.is_retransmit = is_retransmit
         self.priority = priority
         self.hops = 0
@@ -146,7 +149,7 @@ def make_ack_packet(
     dst: str,
     cumulative_ack: int,
     *,
-    echo_timestamp: float = 0.0,
+    echo_timestamp: Optional[float] = None,
 ) -> Packet:
     """Construct an ACK packet acknowledging all bytes below ``cumulative_ack``."""
     packet = Packet(PacketKind.ACK, flow_id, src, dst, cumulative_ack, 0)

@@ -353,10 +353,22 @@ class TcpSender:
         self._process_ack(packet)
 
     def _process_ack(self, ack: Packet) -> None:
-        if ack.echo_timestamp > 0 and not ack.is_retransmit:
+        # ``is not None`` rather than ``> 0``: an echo of exactly 0.0 is a
+        # legitimate timestamp for a packet sent at sim time zero and must
+        # still be RTT-sampled; only a missing echo is skipped.  Karn's
+        # rule (no samples from retransmitted segments) is unchanged.
+        if ack.echo_timestamp is not None and not ack.is_retransmit:
             self._sample_rtt(ack)
         for lo, hi in ack.sack_blocks:
-            self._sacked.add(lo, hi)
+            # Clamp to the current send horizon: after an RTO rewinds
+            # snd_nxt (go-back-N) and clears the scoreboard, straggler
+            # ACKs still in flight carry SACK blocks from before the
+            # rewind; re-admitting bytes beyond snd_nxt would make the
+            # scoreboard claim more than is outstanding (and go-back-N
+            # retransmits that range regardless).
+            hi = min(hi, self.snd_nxt)
+            if lo < hi:
+                self._sacked.add(lo, hi)
         self._sacked.prune_below(self.snd_una)
         if ack.seq > self.snd_una:
             self._on_new_ack(ack)

@@ -162,10 +162,15 @@ class CubicSender(TcpSender):
         if rtt <= 0:
             return 0.0
         beta = self.params.beta
-        # Standard CUBIC TCP-friendly estimate of what Reno would achieve.
-        return self._origin_window * (1.0 - beta) + (
-            3.0 * beta / (2.0 - beta)
-        ) * (elapsed / rtt)
+        # Ha, Rhee & Xu (2008), eq. 4: W_tcp(t) grows linearly from the
+        # post-decrease window at the epoch start (``_tcp_window``), NOT
+        # from ``_origin_window`` — the latter is W_max in the concave
+        # region and equals cwnd in the convex region, which would let the
+        # "friendly" estimate race ahead of Reno's actual pace.  Time is
+        # evaluated at ``elapsed + rtt`` to match ``_cubic_target`` (both
+        # laws predict the window one RTT ahead).
+        t = elapsed + rtt
+        return self._tcp_window + (3.0 * beta / (2.0 - beta)) * (t / rtt)
 
     def _on_ack_congestion_avoidance(self, acked_segments: float) -> None:
         if self._epoch_start is None:

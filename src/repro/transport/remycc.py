@@ -91,7 +91,9 @@ class RemySender(TcpSender):
     # Learned policy
     # ------------------------------------------------------------------
     def _process_ack(self, ack: Packet) -> None:
-        if ack.kind is PacketKind.ACK and not self.finished:
+        # An ACK without an echoed send time carries no timing signal for
+        # the whisker memory; fall through to base processing unchanged.
+        if ack.kind is PacketKind.ACK and not self.finished and ack.echo_timestamp is not None:
             memory = self.tracker.on_ack(
                 ack_arrival_time=self.sim.now,
                 echoed_send_time=ack.echo_timestamp,

@@ -73,10 +73,16 @@ class TestParkingLotFlows:
         sim.run(until=30.0)
         for sender in senders:
             sender.abort()
-        # Both flows traverse the final hop; it sees the combined load and
-        # therefore at least as many drops as any earlier hop.
+        # Both flows traverse the final hop; it sees the combined load, so
+        # it moves the most bytes and is persistently congested.  Raw drop
+        # *counts* are burst-shape dependent and not ordered across hops:
+        # hop 0 absorbs flow 0's unsmoothed post-recovery bursts directly
+        # from the sender, so a single window-sized dump there can out-drop
+        # the shared bottleneck's steady trickle.
         drops = [link.queue.stats.dropped_packets for link in topology.hop_links]
-        assert drops[-1] >= drops[0]
+        bytes_per_hop = [link.bytes_transmitted for link in topology.hop_links]
+        assert bytes_per_hop[-1] > bytes_per_hop[0]
+        assert drops[-1] > 0
 
 
 class TestPhiOnLongRunningPreset:

@@ -67,6 +67,39 @@ class TestPowerFunctions:
         assert power(r, d * 2) < power(r, d)
 
 
+class TestNonFiniteInputsRejected:
+    """Regression: NaN/inf must be rejected, not silently propagated.
+
+    A NaN throughput used to flow straight through ``power`` into sweep
+    summaries (NaN compares false with everything, so the optimizer's
+    argmax silently skipped the poisoned point instead of failing)."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_power_rejects_non_finite_throughput(self, bad):
+        with pytest.raises(ValueError):
+            power(bad, 1.0)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_power_rejects_non_finite_delay(self, bad):
+        with pytest.raises(ValueError):
+            power(1.0, bad)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_power_with_loss_rejects_non_finite_loss(self, bad):
+        with pytest.raises(ValueError):
+            power_with_loss(1.0, 1.0, bad)
+
+    def test_power_with_loss_rejects_non_finite_rate_and_delay(self):
+        with pytest.raises(ValueError):
+            power_with_loss(math.nan, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            power_with_loss(1.0, math.inf, 0.0)
+
+    def test_log_power_still_allows_zero_throughput(self):
+        # By design: log power of an idle run is -inf, not an error.
+        assert log_power(0.0, 1.0) == -math.inf
+
+
 def conn(goodput=100_000, duration=1.0, rtts=(0.15, 0.17), min_rtt=0.15,
          packets=100, retrans=0):
     stats = ConnectionStats(flow_id=1)

@@ -1,0 +1,51 @@
+"""Property-based suite: random scenarios must run violation-free.
+
+Hypothesis feeds seeds into the shared generator in
+:mod:`repro.simcheck.fuzz`; every drawn topology/workload/flavour
+combination must complete on a checked simulator with zero invariant
+violations.  Marked ``simcheck`` (each example is a full, if small,
+simulation run).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.simcheck import ViolationReport
+from repro.simcheck.fuzz import draw_scenario, run_fuzz_case
+
+pytestmark = pytest.mark.simcheck
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestScenarioGenerator:
+    @given(seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_draw_is_deterministic_and_bounded(self, seed):
+        a, b = draw_scenario(seed), draw_scenario(seed)
+        assert a == b
+        assert 1 <= a.config.n_senders <= 5
+        assert 2e6 <= a.config.bottleneck_bandwidth_bps <= 50e6
+        assert 0.02 <= a.config.rtt_s <= 0.3
+        assert 3.0 <= a.duration_s <= 8.0
+        assert a.flavour in ("cubic", "newreno")
+
+    def test_distinct_seeds_draw_distinct_scenarios(self):
+        assert len({draw_scenario(s).as_dict()["rtt_ms"] for s in range(20)}) > 1
+
+
+class TestRandomScenariosHoldInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_checked_run_completes_without_violations(self, seed):
+        scenario = draw_scenario(seed)
+        report = ViolationReport()
+        result = run_fuzz_case(scenario, check_report=report)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.checks_performed > 0
+        assert result.duration_s == scenario.duration_s

@@ -242,3 +242,49 @@ class TestPoisonCommand:
         assert any("phi.context_decisions" in key for key in counters)
         assert manifest["totals"]["guard_rejections"]
         assert manifest["points"][0]["defence"]["decision_counts"]
+
+
+class TestCheck:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.oracles is None
+        assert args.duration == 10.0
+        assert args.fuzz == 0
+        assert args.report is None
+
+    def test_unknown_oracle_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--oracle", "nope"])
+
+    def test_unit_rescale_oracle_passes(self, capsys):
+        assert main(["check", "--oracle", "unit-rescale"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  unit-rescale" in out
+        assert "1/1 checks passed" in out
+
+    def test_fast_differential_oracles_pass(self, capsys):
+        assert main([
+            "check", "--oracle", "checked-vs-unchecked",
+            "--oracle", "flow-permutation", "--duration", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  checked-vs-unchecked" in out
+        assert "PASS  flow-permutation" in out
+
+    def test_fuzz_and_report_artifact(self, tmp_path, capsys):
+        import json as _json
+
+        report_path = str(tmp_path / "check.json")
+        assert main([
+            "check", "--oracle", "unit-rescale",
+            "--fuzz", "1", "--seed", "11", "--report", report_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  fuzz seed=11" in out
+        with open(report_path, encoding="utf-8") as handle:
+            artifact = _json.load(handle)
+        assert artifact["failed"] == 0
+        assert artifact["oracles"][0]["name"] == "unit-rescale"
+        (case,) = artifact["fuzz"]
+        assert case["passed"] and case["scenario"]["seed"] == 11
+        assert case["report"]["checks_performed"] > 0

