@@ -1,0 +1,117 @@
+"""Failover-stack overhead bench: what replication costs when healthy.
+
+PR 9 put a ``FailoverChannel`` over N per-replica ``ControlChannel``s and
+an anti-entropy merge loop under the context service.  On the happy path
+(no faults) all of that must be near-free: the sticky replica serves
+every call, the merge loop finds nothing to reconcile, and an end-to-end
+run should cost about what the single-server stack costs.  This bench
+times the same scenario both ways, plus a per-call micro-bench of the
+failover dispatch itself, and appends the ratios to
+``BENCH_failover.json``.
+"""
+
+import os
+import time
+
+from bench_common import report, run_once, scaled
+
+from repro.experiments.degraded import run_degraded_phi_cubic
+from repro.experiments.partitioned import run_partitioned_phi_cubic
+from repro.experiments.scenarios import TABLE3_REMY
+from repro.phi.channel import ControlChannel
+from repro.phi.failover import FailoverChannel, FailoverConfig
+from repro.phi.policy import REFERENCE_POLICY
+from repro.phi.server import ContextServer
+from repro.runner import append_bench_entry, bench_entry
+from repro.simnet import Simulator
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "BENCH_failover.json"
+)
+
+
+def _per_call_ns(channel, calls):
+    start = time.perf_counter()
+    for _ in range(calls):
+        channel.call_lookup()
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def test_bench_failover_overhead(benchmark, capfd):
+    duration_s = scaled(10.0, 30.0)
+    n_replicas = scaled(3, 5)
+    micro_calls = scaled(20_000, 100_000)
+
+    def single():
+        return run_degraded_phi_cubic(
+            REFERENCE_POLICY, TABLE3_REMY,
+            unavailability=0.0, seed=0, duration_s=duration_s,
+        )
+
+    def replicated():
+        return run_partitioned_phi_cubic(
+            REFERENCE_POLICY, TABLE3_REMY,
+            n_replicas=n_replicas, severity=0.0, seed=0,
+            duration_s=duration_s,
+        )
+
+    start = time.perf_counter()
+    single_run = single()
+    single_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replicated_run = run_once(benchmark, replicated)
+    replicated_wall = time.perf_counter() - start
+
+    e2e_tax = replicated_wall / max(single_wall, 1e-9)
+
+    # Per-call dispatch micro-bench: bare channel vs failover wrapper.
+    sim = Simulator()
+    server = ContextServer(sim, 15e6)
+    bare = ControlChannel(sim, server)
+    stacked = FailoverChannel(
+        sim,
+        [ControlChannel(sim, server) for _ in range(n_replicas)],
+        config=FailoverConfig(suspend_jitter=0.0),
+    )
+    bare_ns = _per_call_ns(bare, micro_calls)
+    stacked_ns = _per_call_ns(stacked, micro_calls)
+    dispatch_tax = stacked_ns / max(bare_ns, 1e-9)
+
+    entry = bench_entry(
+        "bench-failover-overhead",
+        extra={
+            "n_replicas": n_replicas,
+            "duration_s": duration_s,
+            "single_wall_seconds": single_wall,
+            "replicated_wall_seconds": replicated_wall,
+            "e2e_tax": e2e_tax,
+            "bare_call_ns": bare_ns,
+            "failover_call_ns": stacked_ns,
+            "dispatch_tax": dispatch_tax,
+            "failovers": replicated_run.failovers,
+            "anti_entropy_merges": replicated_run.anti_entropy_merges,
+        },
+    )
+    append_bench_entry(BENCH_JSON, entry)
+
+    with report(capfd, "Failover stack: healthy-path overhead"):
+        print(f"replicas: {n_replicas}  duration: {duration_s:g}s")
+        print(f"{'path':<26s} {'wall (s)':>10s} {'vs single':>10s}")
+        print(f"{'single server':<26s} {single_wall:>10.2f} {'1.00x':>10s}")
+        print(f"{'replicated (no fault)':<26s} {replicated_wall:>10.2f} "
+              f"{e2e_tax:>9.2f}x")
+        print(f"dispatch: bare {bare_ns:.0f} ns/call, "
+              f"failover {stacked_ns:.0f} ns/call ({dispatch_tax:.2f}x)")
+        print(f"failovers: {replicated_run.failovers}  "
+              f"merges: {replicated_run.anti_entropy_merges}")
+        print(f"P_l: single {single_run.metrics.power_l:.4f}  "
+              f"replicated {replicated_run.metrics.power_l:.4f}")
+        print(f"trajectory: {BENCH_JSON}")
+
+    # Healthy-path invariants: no failovers, and neither the end-to-end
+    # run nor the per-call dispatch pays an order of magnitude for
+    # replication.  Caps are loose — machine noise, not a budget.
+    assert replicated_run.failovers == 0
+    assert e2e_tax < 4.0, f"replicated happy path too slow: {e2e_tax:.2f}x"
+    assert dispatch_tax < 25.0, f"dispatch tax too high: {dispatch_tax:.2f}x"

@@ -10,6 +10,8 @@ without writing Python:
 - ``repro-phi sweep`` — the Table-2 grid sweep via the parallel runner;
 - ``repro-phi poison`` — the X6 Byzantine-context sweep (corruption
   severity x Byzantine report fraction, guarded or unguarded);
+- ``repro-phi partition`` — the X7 replicated-control-plane sweep
+  (replica count x partition severity x heal time, with failover);
 - ``repro-phi ipfix`` — the Section-2.1 sharing analysis;
 - ``repro-phi diagnose`` — the Figure-5 outage detection pipeline;
 - ``repro-phi telemetry summarize`` — render a run manifest as a table;
@@ -47,10 +49,12 @@ from .diagnosis import (
 from .experiments import (
     ALL_PRESETS,
     check_harm_demonstrated,
+    check_partition_envelope,
     check_safety_envelope,
     run_cubic_fixed,
     run_incremental_deployment,
     run_parameter_sweep,
+    run_partition_sweep,
     run_phi_cubic,
     run_poison_sweep,
 )
@@ -76,6 +80,7 @@ from .simcheck.oracles import ORACLES, run_oracles
 from .simnet.engine import WatchdogConfig
 from .telemetry.manifest import (
     load_manifest,
+    partition_manifest,
     poison_manifest,
     run_manifest,
     summarize_manifest,
@@ -469,6 +474,91 @@ def cmd_poison(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_partition(args: argparse.Namespace) -> int:
+    from .phi.replication import ReadPolicy
+
+    preset = _preset_or_exit(args.preset)
+    try:
+        read_policy = ReadPolicy(args.read_policy)
+    except ValueError:
+        print(f"unknown read policy {args.read_policy!r}; available: "
+              f"{', '.join(p.value for p in ReadPolicy)}", file=sys.stderr)
+        return 2
+    common = dict(
+        heal_times=args.heals,
+        seeds=args.seeds,
+        read_policy=read_policy,
+        partition_start_s=args.partition_start,
+        duration_s=args.duration,
+    )
+    with ExitStack() as stack:
+        tele = None
+        if _telemetry_wanted(args):
+            tele = stack.enter_context(telemetry.use())
+        outcome = run_partition_sweep(
+            REFERENCE_POLICY, preset, args.replicas, args.severities,
+            n_workers=args.workers, parallel=args.workers > 1, **common,
+        )
+        if tele is not None:
+            snapshots = [tele.registry.snapshot()]
+            if outcome.telemetry is not None:
+                snapshots.append(outcome.telemetry)
+            _write_telemetry_outputs(
+                args,
+                tele,
+                partition_manifest(
+                    outcome,
+                    metrics=telemetry.merge_snapshots(snapshots),
+                ),
+            )
+
+    print(f"partition sweep: preset={preset.name} "
+          f"replicas={','.join(map(str, args.replicas))} "
+          f"read={read_policy.value} "
+          f"seeds={','.join(map(str, args.seeds))}")
+    if not args.quiet:
+        for row in outcome.rows:
+            flag = "minority" if row.minority else (
+                "total" if row.n_cut == row.n_replicas and row.n_cut else
+                ("majority" if row.n_cut else "none")
+            )
+            print(f"  n={row.n_replicas} sev={row.severity:<5g} "
+                  f"heal={row.heal_s:<4g} cut={row.n_cut} ({flag:<8s}) "
+                  f"P_l={row.mean_power_l:8.4f} "
+                  f"({row.power_vs_stock:5.2f}x stock, "
+                  f"{row.power_vs_degraded:5.2f}x degraded)  "
+                  f"thr={row.mean_throughput_mbps:6.2f} Mbps  "
+                  f"fo={row.failovers} merges={row.anti_entropy_merges} "
+                  f"maxdiv={row.max_divergence:.3f}")
+
+    if args.serial_check:
+        serial = run_partition_sweep(
+            REFERENCE_POLICY, preset, args.replicas, args.severities,
+            n_workers=1, parallel=False, collect_telemetry=False, **common,
+        )
+        mismatched = sum(
+            1 for mine, theirs in zip(outcome.results, serial.results)
+            if not mine.identical_to(theirs)
+        )
+        if mismatched or len(serial.results) != len(outcome.results):
+            print(f"DETERMINISM VIOLATION: {mismatched} point(s) differ "
+                  f"between serial and parallel partition sweeps",
+                  file=sys.stderr)
+            return 1
+        print(f"serial check: all {len(outcome.results)} point(s) bit-identical")
+
+    violations = check_partition_envelope(outcome, rel_tol=args.tolerance)
+    if violations:
+        print("SAFETY ENVELOPE VIOLATED:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"safety envelope holds: every row within {args.tolerance:.0%} of "
+          f"the stock floor; minority partitions within {args.tolerance:.0%} "
+          f"of the single-server-outage baseline")
+    return 0
+
+
 def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     try:
         manifest = load_manifest(args.manifest)
@@ -693,6 +783,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suppress the per-row table")
     add_telemetry_args(poison)
     poison.set_defaults(func=cmd_poison)
+
+    partition = sub.add_parser(
+        "partition",
+        help="X7 replicated-control-plane sweep (replicas x partition "
+             "severity x heal time)",
+    )
+    partition.add_argument("--preset", default="fig2a-low-utilization")
+    partition.add_argument("--replicas", type=_int_list, default=[1, 3],
+                           help="comma-separated replica counts")
+    partition.add_argument("--severities", type=_float_list,
+                           default=[0.0, 0.34, 1.0],
+                           help="comma-separated cut fractions in [0, 1] "
+                                "(round(severity * n) replicas are severed)")
+    partition.add_argument("--heals", type=_float_list, default=[10.0],
+                           help="comma-separated partition durations in "
+                                "simulated seconds")
+    partition.add_argument("--partition-start", type=float, default=10.0,
+                           dest="partition_start",
+                           help="simulated second the partition begins")
+    partition.add_argument("--seeds", type=_int_list, default=[0, 1],
+                           help="comma-separated seeds (one run per seed "
+                                "per cell)")
+    partition.add_argument("--read-policy", default="any", dest="read_policy",
+                           help="replica read policy: any, nearest, quorum")
+    partition.add_argument("--duration", type=float, default=None,
+                           help="simulated seconds per run (default: preset "
+                                "duration)")
+    partition.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = serial)")
+    partition.add_argument("--tolerance", type=float, default=0.05,
+                           help="relative envelope tolerance (default 0.05)")
+    partition.add_argument("--serial-check", action="store_true",
+                           help="also run serially; verify bit-identical "
+                                "results")
+    partition.add_argument("--quiet", action="store_true",
+                           help="suppress the per-row table")
+    add_telemetry_args(partition)
+    partition.set_defaults(func=cmd_partition)
 
     telemetry_parser = sub.add_parser(
         "telemetry", help="inspect telemetry artifacts"

@@ -122,7 +122,9 @@ def run_degraded_phi_cubic(
             env.sim, env.bottleneck_capacity_bps, lease_ttl_s=lease_ttl_s
         )
         cfg = channel_config or ChannelConfig()
-        needs_rng = cfg.loss_probability > 0 or cfg.jitter_s > 0
+        needs_rng = (
+            cfg.loss_probability > 0 or cfg.jitter_s > 0 or cfg.backoff_jitter > 0
+        )
         channel = ControlChannel(
             env.sim,
             server,

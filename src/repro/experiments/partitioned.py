@@ -1,0 +1,686 @@
+"""Partitioned-control-plane experiments: Phi on a replicated plane.
+
+PR 1 asked "what if the one context server fails?" (X4) and PR 7 asked
+"what if it lies?" (X6).  This module asks the remaining question — the
+X7 sweep: **what if the control plane is replicated and the network
+partitions it?**  Senders run the full stack:
+
+    sender → ResilientContextClient → FailoverChannel
+           → per-replica ControlChannel → ReplicaHandle → ContextServer
+
+with a :class:`~repro.simnet.faults.Partition` fault severing, for a
+window, both the sender↔replica channels of a *cut* replica subset and
+the replica↔replica anti-entropy edges across the cut.  The cut always
+contains the clients' initially-sticky replica (replica 0), so minority
+partitions genuinely exercise failover rather than hitting replicas
+nobody talks to.
+
+The claim under test mirrors X6's safety envelope, on both axes:
+
+- with ≥ 2 replicas, any single-replica crash or **minority** partition
+  keeps mean power and throughput at or above the single-server-outage
+  degraded baseline (the PR 1 stack losing its only server for the same
+  window) — replication turns an outage into a non-event;
+- **no** partition severity, up to losing every replica, drops a run
+  below the uncoordinated stock-Cubic floor — the same "coordination is
+  pure upside" anchor X4 established.
+
+The degraded baseline is produced by this very machinery at
+``n_replicas=1, severity=1`` (one replica, fully cut for the same
+window): structurally the PR 1 single-server outage, through an
+identical code path, so the comparison isolates exactly the value of
+replication.  The replication oracle
+(:mod:`repro.simcheck.oracles`) separately pins that the N=1 stack is
+bit-identical to the plain single-server stack.
+
+A calibration caveat on the degraded floor: it is only a meaningful
+bar when ``partition_start_s`` is past the context warm-up (at least
+the staleness TTL into the run).  Freeze the cache *earlier* and the
+degraded baseline coasts on an optimistic warm-up snapshot — low
+estimated utilization, aggressive parameters — and can transiently
+beat even the healthy plane, which says something about stale context,
+not about replication.  The defaults (start 10 s, TTL 10 s) respect
+this.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry as _telemetry
+from ..metrics.summary import RunMetrics, summarize_runs
+from ..phi.channel import ChannelConfig, CircuitBreaker, ControlChannel
+from ..phi.deployment import DeploymentMode
+from ..phi.failover import FailoverChannel, FailoverConfig
+from ..phi.fallback import ResilientContextClient, resilient_phi_cubic_factory
+from ..phi.policy import PolicyTable
+from ..phi.replication import (
+    ReadPolicy,
+    ReplicatedContextService,
+    ReplicationConfig,
+)
+from ..runner.core import _pool_context
+from ..runner.resilience import ExecutionReport, ResilienceConfig, SweepSupervisor
+from ..simnet.faults import FaultInjector
+from ..telemetry.registry import merge_snapshots
+from ..transport.cubic import CubicParams
+from .dumbbell import (
+    ExperimentEnv,
+    ScenarioResult,
+    run_long_running_scenario,
+    run_onoff_scenario,
+    uniform_slots,
+)
+from .scenarios import ScenarioPreset, run_cubic_fixed
+
+
+def partition_indices(n_replicas: int, severity: float) -> Tuple[List[int], List[int]]:
+    """Split replica indices into (cut, kept) for a severity in [0, 1].
+
+    ``round(severity * n_replicas)`` replicas are cut, *lowest indices
+    first* — replica 0 is every client's initial sticky choice, so any
+    nonzero cut dislodges the replica actually serving traffic.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1: {n_replicas}")
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity must be in [0, 1]: {severity}")
+    n_cut = min(n_replicas, round(severity * n_replicas))
+    return list(range(n_cut)), list(range(n_cut, n_replicas))
+
+
+@dataclass
+class PartitionRunResult:
+    """One partitioned run plus the replication stack's own accounting."""
+
+    result: ScenarioResult
+    mode: DeploymentMode
+    n_replicas: int
+    severity: float
+    heal_s: float
+    n_cut: int
+    decision_counts: Dict[str, int]
+    failovers: int
+    fast_failures: int
+    replica_calls: Dict[int, Dict[str, int]]
+    anti_entropy_merges: int
+    reports_replicated: int
+    quorum_rejections: int
+    final_divergence: float
+    max_divergence: float
+    pending_reports: int
+
+    @property
+    def metrics(self) -> RunMetrics:
+        """The run's aggregate transport metrics."""
+        return self.result.metrics
+
+
+def run_partitioned_phi_cubic(
+    policy: PolicyTable,
+    preset: ScenarioPreset,
+    *,
+    n_replicas: int = 3,
+    severity: float = 0.0,
+    heal_s: float = 10.0,
+    partition_start_s: float = 10.0,
+    seed: int = 0,
+    read_policy: ReadPolicy = ReadPolicy.ANY,
+    duration_s: Optional[float] = None,
+    staleness_ttl_s: float = 10.0,
+    anti_entropy_period_s: float = 1.0,
+    quorum_staleness_s: float = 5.0,
+    channel_config: Optional[ChannelConfig] = None,
+    failover_config: Optional[FailoverConfig] = None,
+    lease_ttl_s: Optional[float] = 60.0,
+    fallback_params: Optional[CubicParams] = None,
+    breaker_failure_threshold: int = 5,
+    breaker_reset_s: float = 1.0,
+) -> PartitionRunResult:
+    """Phi-coordinated Cubic on a replicated, partitionable control plane.
+
+    A :class:`~repro.simnet.faults.Partition` severs the first
+    ``round(severity * n_replicas)`` replicas — their sender↔replica
+    channels are marked down and their anti-entropy edges to the kept
+    replicas are cut — during ``[partition_start_s, partition_start_s +
+    heal_s)``.  ``severity=0`` (or ``heal_s=0``) is the no-fault
+    replicated deployment; ``severity=1`` cuts every replica, leaving
+    clients on the stale-then-fallback path exactly as a total
+    control-plane outage would.
+
+    Defaults arm the reproducibility-preserving jitters (channel retry
+    backoff and failover suspension) from per-run seeded streams; both
+    draw only on failure paths, so a no-fault run's trajectory is
+    unchanged by them.
+    """
+    cut, _kept = partition_indices(n_replicas, severity)
+    if partition_start_s < 0 or heal_s < 0:
+        raise ValueError(
+            f"partition window must be non-negative: "
+            f"start={partition_start_s} heal={heal_s}"
+        )
+    duration = duration_s if duration_s is not None else preset.duration_s
+    holders: dict = {}
+
+    def build(env: ExperimentEnv):
+        service = ReplicatedContextService(
+            env.sim,
+            env.bottleneck_capacity_bps,
+            config=ReplicationConfig(
+                n_replicas=n_replicas,
+                anti_entropy_period_s=anti_entropy_period_s,
+                read_policy=read_policy,
+                quorum_staleness_s=quorum_staleness_s,
+            ),
+            lease_ttl_s=lease_ttl_s,
+        )
+        cfg = channel_config or ChannelConfig(backoff_jitter=0.25)
+        needs_rng = (
+            cfg.loss_probability > 0 or cfg.jitter_s > 0 or cfg.backoff_jitter > 0
+        )
+        channels = [
+            ControlChannel(
+                env.sim,
+                service.handle(index),
+                config=cfg,
+                rng=(
+                    env.rngs.stream(f"control-channel-{index}")
+                    if needs_rng
+                    else None
+                ),
+                breaker=CircuitBreaker(
+                    lambda: env.sim.now,
+                    failure_threshold=breaker_failure_threshold,
+                    reset_timeout_s=breaker_reset_s,
+                ),
+            )
+            for index in range(n_replicas)
+        ]
+        fo_cfg = failover_config or FailoverConfig()
+        failover = FailoverChannel(
+            env.sim,
+            channels,
+            rng=(
+                env.rngs.stream("failover-suspend")
+                if fo_cfg.suspend_jitter > 0
+                else None
+            ),
+            config=fo_cfg,
+        )
+        injector = FaultInjector(env.sim)
+        if cut and heal_s > 0:
+            kept = [i for i in range(n_replicas) if i not in cut]
+            edges = [(i, j) for i in cut for j in kept]
+            injector.partition(
+                partition_start_s,
+                heal_s,
+                targets=[channels[i] for i in cut],
+                mesh=service if edges else None,
+                edges=edges,
+            )
+        client = ResilientContextClient(
+            failover, now=lambda: env.sim.now, staleness_ttl_s=staleness_ttl_s
+        )
+        holders.update(
+            service=service, channels=channels, failover=failover,
+            client=client, injector=injector,
+        )
+        return resilient_phi_cubic_factory(
+            client, policy, now=lambda: env.sim.now, fallback_params=fallback_params
+        )
+
+    if preset.workload is None:
+        result = run_long_running_scenario(
+            uniform_slots(build),
+            config=preset.config,
+            duration_s=duration,
+            seed=seed,
+        )
+    else:
+        result = run_onoff_scenario(
+            uniform_slots(build),
+            config=preset.config,
+            workload=preset.workload,
+            duration_s=duration,
+            seed=seed,
+        )
+    service: ReplicatedContextService = holders["service"]
+    failover: FailoverChannel = holders["failover"]
+    client: ResilientContextClient = holders["client"]
+    history = service.divergence_history
+    return PartitionRunResult(
+        result=result,
+        mode=DeploymentMode.REPLICATED,
+        n_replicas=n_replicas,
+        severity=severity,
+        heal_s=heal_s,
+        n_cut=len(cut),
+        decision_counts=client.decision_counts(),
+        failovers=failover.stats.failovers,
+        fast_failures=failover.stats.fast_failures,
+        replica_calls=failover.stats.by_replica,
+        anti_entropy_merges=service.anti_entropy_merges,
+        reports_replicated=service.reports_replicated,
+        quorum_rejections=service.quorum_rejections,
+        final_divergence=service.replica_divergence(),
+        max_divergence=max((d for _, d in history), default=0.0),
+        pending_reports=client.pending_reports,
+    )
+
+
+# ----------------------------------------------------------------------
+# The X7 sweep: replica count x severity x heal time, supervised
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionPoint:
+    """One (replica count, severity, heal time, seed) evaluation."""
+
+    n_replicas: int
+    severity: float
+    heal_s: float
+    seed: int
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Everything a worker needs to evaluate a :class:`PartitionPoint`.
+
+    Must stay picklable (crosses the process boundary).
+    """
+
+    preset: ScenarioPreset
+    policy: PolicyTable
+    read_policy: ReadPolicy = ReadPolicy.ANY
+    partition_start_s: float = 10.0
+    duration_s: Optional[float] = None
+    staleness_ttl_s: float = 10.0
+    anti_entropy_period_s: float = 1.0
+    collect_telemetry: bool = False
+
+
+@dataclass
+class PartitionPointResult:
+    """One partition point's outcome, by-value across the pool boundary."""
+
+    n_replicas: int
+    severity: float
+    heal_s: float
+    seed: int
+    n_cut: int
+    metrics: RunMetrics
+    decision_counts: Dict[str, int]
+    failovers: int
+    fast_failures: int
+    anti_entropy_merges: int
+    reports_replicated: int
+    quorum_rejections: int
+    final_divergence: float
+    max_divergence: float
+    pending_reports: int
+    events_processed: int
+    wall_seconds: float
+    #: Observability sidecar (see PointResult.telemetry): excluded from
+    #: determinism comparisons.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False)
+
+    def identical_to(self, other: "PartitionPointResult") -> bool:
+        """Bit-identical simulation outcome (wall time excluded)."""
+        return (
+            self.n_replicas == other.n_replicas
+            and self.severity == other.severity
+            and self.heal_s == other.heal_s
+            and self.seed == other.seed
+            and self.n_cut == other.n_cut
+            and self.metrics == other.metrics
+            and self.decision_counts == other.decision_counts
+            and self.failovers == other.failovers
+            and self.fast_failures == other.fast_failures
+            and self.anti_entropy_merges == other.anti_entropy_merges
+            and self.reports_replicated == other.reports_replicated
+            and self.quorum_rejections == other.quorum_rejections
+            and self.final_divergence == other.final_divergence
+            and self.max_divergence == other.max_divergence
+            and self.pending_reports == other.pending_reports
+            and self.events_processed == other.events_processed
+        )
+
+
+def evaluate_partition_point(
+    spec: PartitionSpec, point: PartitionPoint
+) -> PartitionPointResult:
+    """Worker entry point; a pure function of ``(spec, point)``.
+
+    Module-level so pool workers can unpickle it; all randomness comes
+    from the run's seeded streams.
+    """
+    started = time.perf_counter()
+    snapshot: Optional[Dict[str, Any]] = None
+    kwargs = dict(
+        n_replicas=point.n_replicas,
+        severity=point.severity,
+        heal_s=point.heal_s,
+        partition_start_s=spec.partition_start_s,
+        seed=point.seed,
+        read_policy=spec.read_policy,
+        duration_s=spec.duration_s,
+        staleness_ttl_s=spec.staleness_ttl_s,
+        anti_entropy_period_s=spec.anti_entropy_period_s,
+    )
+    if spec.collect_telemetry:
+        with _telemetry.use() as tele:
+            run = run_partitioned_phi_cubic(spec.policy, spec.preset, **kwargs)
+            snapshot = tele.registry.snapshot()
+    else:
+        run = run_partitioned_phi_cubic(spec.policy, spec.preset, **kwargs)
+    wall = time.perf_counter() - started
+    return PartitionPointResult(
+        n_replicas=point.n_replicas,
+        severity=point.severity,
+        heal_s=point.heal_s,
+        seed=point.seed,
+        n_cut=run.n_cut,
+        metrics=run.metrics,
+        decision_counts=run.decision_counts,
+        failovers=run.failovers,
+        fast_failures=run.fast_failures,
+        anti_entropy_merges=run.anti_entropy_merges,
+        reports_replicated=run.reports_replicated,
+        quorum_rejections=run.quorum_rejections,
+        final_divergence=run.final_divergence,
+        max_divergence=run.max_divergence,
+        pending_reports=run.pending_reports,
+        events_processed=run.result.events_processed,
+        wall_seconds=wall,
+        telemetry=snapshot,
+    )
+
+
+@dataclass
+class PartitionSweepRow:
+    """One (replica count, severity, heal) cell aggregated across seeds."""
+
+    n_replicas: int
+    severity: float
+    heal_s: float
+    n_cut: int
+    minority: bool
+    mean_power_l: float
+    mean_throughput_mbps: float
+    mean_delay_ms: float
+    stock_power_l: float
+    stock_throughput_mbps: float
+    degraded_power_l: float
+    degraded_throughput_mbps: float
+    decision_counts: Dict[str, int]
+    failovers: int
+    anti_entropy_merges: int
+    quorum_rejections: int
+    max_divergence: float
+
+    @property
+    def power_vs_stock(self) -> float:
+        """Mean power relative to uncoordinated Cubic (1.0 = parity)."""
+        return _ratio(self.mean_power_l, self.stock_power_l)
+
+    @property
+    def power_vs_degraded(self) -> float:
+        """Mean power relative to the single-server-outage baseline."""
+        return _ratio(self.mean_power_l, self.degraded_power_l)
+
+    @property
+    def throughput_vs_stock(self) -> float:
+        """Mean throughput relative to uncoordinated Cubic."""
+        return _ratio(self.mean_throughput_mbps, self.stock_throughput_mbps)
+
+    @property
+    def throughput_vs_degraded(self) -> float:
+        """Mean throughput relative to the single-server-outage baseline."""
+        return _ratio(self.mean_throughput_mbps, self.degraded_throughput_mbps)
+
+
+def _ratio(value: float, baseline: float) -> float:
+    if baseline <= 0:
+        return float("inf") if value > 0 else 1.0
+    return value / baseline
+
+
+@dataclass
+class PartitionSweepOutcome:
+    """Everything one X7 sweep produced."""
+
+    spec: PartitionSpec
+    rows: List[PartitionSweepRow]
+    results: List[PartitionPointResult]
+    stock_by_seed: Dict[int, RunMetrics]
+    degraded_by_heal_seed: Dict[Tuple[float, int], RunMetrics]
+    report: ExecutionReport
+    telemetry: Optional[Dict[str, Any]] = None
+
+
+def run_partition_sweep(
+    policy: PolicyTable,
+    preset: ScenarioPreset,
+    replica_counts: Sequence[int],
+    severities: Sequence[float],
+    heal_times: Sequence[float] = (10.0,),
+    *,
+    seeds: Sequence[int] = (0, 1),
+    read_policy: ReadPolicy = ReadPolicy.ANY,
+    partition_start_s: float = 10.0,
+    duration_s: Optional[float] = None,
+    staleness_ttl_s: float = 10.0,
+    anti_entropy_period_s: float = 1.0,
+    n_workers: int = 1,
+    parallel: bool = True,
+    resilience: Optional[ResilienceConfig] = None,
+    collect_telemetry: Optional[bool] = None,
+) -> PartitionSweepOutcome:
+    """Sweep replica count x partition severity x heal time across seeds.
+
+    Two baselines anchor every row, each run with the row's own seeds:
+
+    - **stock**: uncoordinated default Cubic (the X4/X6 floor);
+    - **degraded**: the same replicated machinery at ``n_replicas=1,
+      severity=1`` with the row's heal window — structurally the PR 1
+      single-server outage, so "replication beats one server" is an
+      apples-to-apples claim.
+
+    Points run through the :class:`SweepSupervisor` — pooled when
+    ``parallel`` and ``n_workers > 1``, else serially — and merge by
+    index, so both paths produce bit-identical outcomes
+    (``identical_to``).
+    """
+    tele = _telemetry.session()
+    collect = tele.enabled if collect_telemetry is None else collect_telemetry
+    spec = PartitionSpec(
+        preset=preset,
+        policy=policy,
+        read_policy=read_policy,
+        partition_start_s=partition_start_s,
+        duration_s=duration_s,
+        staleness_ttl_s=staleness_ttl_s,
+        anti_entropy_period_s=anti_entropy_period_s,
+        collect_telemetry=collect,
+    )
+    points = [
+        PartitionPoint(n, severity, heal, seed)
+        for n in replica_counts
+        for severity in severities
+        for heal in heal_times
+        for seed in seeds
+    ]
+    results: List[Optional[PartitionPointResult]] = [None] * len(points)
+
+    def deliver(index: int, result: PartitionPointResult) -> None:
+        results[index] = result
+
+    supervisor = SweepSupervisor(
+        spec,
+        evaluate_partition_point,
+        config=resilience or ResilienceConfig(),
+        n_workers=max(1, n_workers),
+        mp_context=_pool_context(),
+    )
+    pending = list(enumerate(points))
+    if parallel and n_workers > 1:
+        report = supervisor.execute_pool(pending, deliver)
+    else:
+        report = supervisor.execute_serial(pending, deliver)
+    completed = [result for result in results if result is not None]
+
+    # Baseline 1: uncoordinated stock Cubic, one run per seed.
+    stock_by_seed = {
+        seed: run_cubic_fixed(
+            CubicParams.default(), preset, seed=seed, duration_s=duration_s
+        ).metrics
+        for seed in seeds
+    }
+    # Baseline 2: the PR 1-shaped single-server outage — one replica,
+    # fully cut for the same window — per (heal, seed).  Telemetry off:
+    # baselines anchor the envelope, they are not part of the sweep.
+    baseline_spec = PartitionSpec(
+        preset=preset,
+        policy=policy,
+        read_policy=ReadPolicy.ANY,
+        partition_start_s=partition_start_s,
+        duration_s=duration_s,
+        staleness_ttl_s=staleness_ttl_s,
+        anti_entropy_period_s=anti_entropy_period_s,
+        collect_telemetry=False,
+    )
+    degraded_by_heal_seed = {
+        (heal, seed): evaluate_partition_point(
+            baseline_spec, PartitionPoint(1, 1.0, heal, seed)
+        ).metrics
+        for heal in heal_times
+        for seed in seeds
+    }
+
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / max(1, len(values))
+
+    stock_power = _mean([m.power_l for m in stock_by_seed.values()])
+    stock_tput = _mean([m.throughput_mbps for m in stock_by_seed.values()])
+
+    rows: List[PartitionSweepRow] = []
+    for n in replica_counts:
+        for severity in severities:
+            for heal in heal_times:
+                cell = [
+                    r for r in completed
+                    if r.n_replicas == n
+                    and r.severity == severity
+                    and r.heal_s == heal
+                ]
+                if not cell:
+                    continue
+                decisions: Dict[str, int] = {}
+                for run in cell:
+                    for key, count in run.decision_counts.items():
+                        decisions[key] = decisions.get(key, 0) + count
+                aggregate = summarize_runs([run.metrics for run in cell])
+                degraded = [
+                    degraded_by_heal_seed[(heal, seed)] for seed in seeds
+                ]
+                n_cut = cell[0].n_cut
+                rows.append(
+                    PartitionSweepRow(
+                        n_replicas=n,
+                        severity=severity,
+                        heal_s=heal,
+                        n_cut=n_cut,
+                        minority=0 < n_cut and 2 * n_cut < n,
+                        mean_power_l=aggregate.mean_power_l,
+                        mean_throughput_mbps=aggregate.mean_throughput_mbps,
+                        mean_delay_ms=aggregate.mean_queueing_delay_ms,
+                        stock_power_l=stock_power,
+                        stock_throughput_mbps=stock_tput,
+                        degraded_power_l=_mean([m.power_l for m in degraded]),
+                        degraded_throughput_mbps=_mean(
+                            [m.throughput_mbps for m in degraded]
+                        ),
+                        decision_counts=decisions,
+                        failovers=sum(r.failovers for r in cell),
+                        anti_entropy_merges=sum(
+                            r.anti_entropy_merges for r in cell
+                        ),
+                        quorum_rejections=sum(
+                            r.quorum_rejections for r in cell
+                        ),
+                        max_divergence=max(r.max_divergence for r in cell),
+                    )
+                )
+
+    merged_telemetry: Optional[Dict[str, Any]] = None
+    if collect:
+        merged_telemetry = merge_snapshots(
+            result.telemetry for result in completed
+            if result.telemetry is not None
+        )
+    return PartitionSweepOutcome(
+        spec=spec,
+        rows=rows,
+        results=completed,
+        stock_by_seed=stock_by_seed,
+        degraded_by_heal_seed=degraded_by_heal_seed,
+        report=report,
+        telemetry=merged_telemetry,
+    )
+
+
+def check_partition_envelope(
+    outcome: PartitionSweepOutcome, *, rel_tol: float = 0.05
+) -> List[str]:
+    """Violations of the X7 safety envelope (empty means it holds).
+
+    Two floors, both on power *and* throughput (a partition can hurt on
+    either axis, exactly as X6 found for lies):
+
+    - every row must stay within ``rel_tol`` of the **stock** Cubic
+      floor — losing the whole control plane degrades to uncoordinated,
+      never below it;
+    - every **minority-cut** row with ≥ 2 replicas must additionally
+      stay within ``rel_tol`` of the **degraded** single-server-outage
+      baseline — with a quorum of replicas standing, the partition must
+      cost no more than PR 1's best effort with one server, and in
+      practice costs nothing (failover keeps every sender FRESH).
+    """
+    violations: List[str] = []
+    for row in outcome.rows:
+        cell = (
+            f"replicas={row.n_replicas} severity={row.severity:g} "
+            f"heal={row.heal_s:g}s"
+        )
+        stock_power_floor = (1.0 - rel_tol) * row.stock_power_l
+        if row.mean_power_l < stock_power_floor:
+            violations.append(
+                f"{cell}: power {row.mean_power_l:.4f} < stock floor "
+                f"{stock_power_floor:.4f} (stock {row.stock_power_l:.4f})"
+            )
+        stock_tput_floor = (1.0 - rel_tol) * row.stock_throughput_mbps
+        if row.mean_throughput_mbps < stock_tput_floor:
+            violations.append(
+                f"{cell}: throughput {row.mean_throughput_mbps:.3f} Mbps < "
+                f"stock floor {stock_tput_floor:.3f} "
+                f"(stock {row.stock_throughput_mbps:.3f})"
+            )
+        if row.n_replicas >= 2 and row.minority:
+            degraded_power_floor = (1.0 - rel_tol) * row.degraded_power_l
+            if row.mean_power_l < degraded_power_floor:
+                violations.append(
+                    f"{cell}: power {row.mean_power_l:.4f} < degraded floor "
+                    f"{degraded_power_floor:.4f} "
+                    f"(degraded {row.degraded_power_l:.4f})"
+                )
+            degraded_tput_floor = (
+                (1.0 - rel_tol) * row.degraded_throughput_mbps
+            )
+            if row.mean_throughput_mbps < degraded_tput_floor:
+                violations.append(
+                    f"{cell}: throughput {row.mean_throughput_mbps:.3f} Mbps "
+                    f"< degraded floor {degraded_tput_floor:.3f} "
+                    f"(degraded {row.degraded_throughput_mbps:.3f})"
+                )
+    return violations

@@ -45,12 +45,26 @@ from .corruption import (
     CorruptionLayer,
     make_context_corruptor,
 )
+from .failover import (
+    REPLICA_ERRORS,
+    FailoverChannel,
+    FailoverConfig,
+    FailoverStats,
+    ReplicaHealth,
+)
 from .fallback import (
     TRANSPORT_ERRORS,
     ContextDecision,
     ResilientContextClient,
     ResolvedContext,
     resilient_phi_cubic_factory,
+)
+from .replication import (
+    QuorumUnavailable,
+    ReadPolicy,
+    ReplicaHandle,
+    ReplicatedContextService,
+    ReplicationConfig,
 )
 from .guard import (
     GUARD_REASONS,
@@ -105,9 +119,19 @@ __all__ = [
     "ControlChannel",
     "CorruptingSource",
     "CorruptionLayer",
+    "FailoverChannel",
+    "FailoverConfig",
+    "FailoverStats",
     "GUARD_REASONS",
     "GuardConfig",
     "GuardVerdict",
+    "QuorumUnavailable",
+    "REPLICA_ERRORS",
+    "ReadPolicy",
+    "ReplicaHandle",
+    "ReplicaHealth",
+    "ReplicatedContextService",
+    "ReplicationConfig",
     "LOSS_RATE_THRESHOLDS",
     "RobustAggregationConfig",
     "TRANSPORT_ERRORS",

@@ -86,6 +86,13 @@ class ChannelConfig:
     backoff_base_s / backoff_multiplier / backoff_max_s:
         Exponential backoff between attempts: attempt ``k`` (0-based)
         waits ``min(base * multiplier**k, max)`` before retrying.
+    backoff_jitter:
+        Uniform multiplicative jitter on each backoff: the wait is
+        scaled by ``1 + U[0, backoff_jitter)`` (needs an rng).  Without
+        it, every sender that hit the same outage retries on the same
+        deterministic schedule and stampedes the server the instant it
+        recovers; with it the retry wave decorrelates while staying a
+        pure function of the run's seed.
     deadline_s:
         Hard per-call budget.  A retry is only launched if, even in the
         worst case (full backoff plus a full timeout), the call would
@@ -101,6 +108,7 @@ class ChannelConfig:
     backoff_base_s: float = 0.05
     backoff_multiplier: float = 2.0
     backoff_max_s: float = 1.0
+    backoff_jitter: float = 0.0
     deadline_s: float = 2.0
 
     def __post_init__(self) -> None:
@@ -121,6 +129,10 @@ class ChannelConfig:
         if self.backoff_multiplier < 1:
             raise ValueError(
                 f"backoff multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if self.backoff_jitter < 0:
+            raise ValueError(
+                f"backoff_jitter must be >= 0: {self.backoff_jitter}"
             )
         if self.deadline_s <= 0:
             raise ValueError(f"deadline must be positive: {self.deadline_s}")
@@ -270,7 +282,9 @@ class ControlChannel:
         self.backend = backend
         self.config = config or ChannelConfig()
         if rng is None and (
-            self.config.loss_probability > 0 or self.config.jitter_s > 0
+            self.config.loss_probability > 0
+            or self.config.jitter_s > 0
+            or self.config.backoff_jitter > 0
         ):
             raise ValueError("loss/jitter simulation requires an rng")
         self.rng = rng
@@ -420,6 +434,10 @@ class ControlChannel:
             if attempts > cfg.max_retries:
                 break
             backoff = cfg.backoff_s(attempts - 1)
+            if cfg.backoff_jitter > 0:
+                # Jitter scales the wait *before* the deadline check so a
+                # jittered retry can never overrun the per-call budget.
+                backoff *= 1.0 + float(self.rng.uniform(0.0, cfg.backoff_jitter))
             if elapsed + backoff + cfg.timeout_s > cfg.deadline_s:
                 last_status = RpcStatus.DEADLINE_EXCEEDED
                 break

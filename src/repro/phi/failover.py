@@ -1,0 +1,345 @@
+"""Client-side failover across a replicated control plane.
+
+A sender reaches each replica through its own
+:class:`~repro.phi.channel.ControlChannel` (latency, loss, outages,
+retries, breaker — all per replica).  The :class:`FailoverChannel` sits
+on top and decides *which* replica to ask:
+
+- **health scoring**: every observed RPC outcome folds into a per-replica
+  EWMA score, so replica choice is driven by what the client actually
+  experienced, not by any global view;
+- **failover**: when an attempt fails (timeout, server down, breaker
+  open, or a backend refusal such as
+  :class:`~repro.phi.replication.QuorumUnavailable`), the call moves on
+  to the next-best replica within the same simulated instant — RPC time
+  is accounted, never simulated, exactly like the underlying channel;
+- **suspension with jittered backoff**: a failed replica is benched for
+  an exponentially growing window scaled by ``1 + U[0, jitter)`` drawn
+  from the sim RNG, so a thousand clients whose replica died together do
+  not stampede it the instant it heals — and the run stays a pure
+  function of its seed;
+- **sticky-with-probation reselection**: the client sticks to its
+  current replica while it works; a replica coming off suspension must
+  answer ``probation_successes`` calls before it can become the sticky
+  choice again, so one lucky probe does not yank the whole client back
+  to a flapping replica.
+
+The channel exposes the same surfaces as :class:`ControlChannel`
+(``call_lookup``/``call_report`` returning :class:`RpcResult`, raising
+``lookup``/``report``/``report_stats``), so a
+:class:`~repro.phi.fallback.ResilientContextClient` wraps it unchanged
+— replication slots into the PR 1 degradation stack instead of beside
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..simnet.engine import Simulator
+from ..telemetry import session as _telemetry_session
+from ..transport.base import ConnectionStats
+from .channel import ControlChannel, RpcError, RpcResult, RpcStatus
+from .context import CongestionContext
+from .server import ConnectionReport
+
+#: Failures that mark one *replica attempt* as failed rather than
+#: crashing the whole call: transport-shaped exceptions raised by the
+#: backend through the channel (e.g. QuorumUnavailable, which subclasses
+#: ConnectionError).  Mirrors ``fallback.TRANSPORT_ERRORS``.
+REPLICA_ERRORS = (RpcError, ConnectionError, TimeoutError, OSError)
+
+#: Telemetry status label for attempts failed by a backend exception
+#: (the channel-level statuses come from RpcStatus values).
+BACKEND_ERROR_STATUS = "backend_error"
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """Health, suspension, and stickiness knobs.
+
+    Attributes
+    ----------
+    health_alpha:
+        EWMA weight of the latest outcome in a replica's health score
+        (1 = healthy, 0 = hopeless).
+    suspend_base_s / suspend_multiplier / suspend_max_s:
+        A replica's ``k``-th consecutive failure benches it for
+        ``min(base * multiplier**(k-1), max)`` seconds (before jitter).
+    suspend_jitter:
+        Uniform multiplicative jitter on the suspension window:
+        scaled by ``1 + U[0, suspend_jitter)``, drawn from the sim RNG
+        (required when > 0) so recovery probes decorrelate across
+        clients while staying reproducible.
+    probation_successes:
+        Successful calls a replica coming off suspension must serve
+        before it can be reselected as the sticky current replica.
+    """
+
+    health_alpha: float = 0.3
+    suspend_base_s: float = 0.5
+    suspend_multiplier: float = 2.0
+    suspend_max_s: float = 10.0
+    suspend_jitter: float = 0.5
+    probation_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.health_alpha <= 1:
+            raise ValueError(f"health_alpha must be in (0, 1]: {self.health_alpha}")
+        if self.suspend_base_s < 0 or self.suspend_max_s < 0:
+            raise ValueError("suspension bounds must be >= 0")
+        if self.suspend_multiplier < 1:
+            raise ValueError(
+                f"suspend_multiplier must be >= 1: {self.suspend_multiplier}"
+            )
+        if self.suspend_jitter < 0:
+            raise ValueError(
+                f"suspend_jitter must be >= 0: {self.suspend_jitter}"
+            )
+        if self.probation_successes < 0:
+            raise ValueError(
+                f"probation_successes must be >= 0: {self.probation_successes}"
+            )
+
+
+@dataclass
+class ReplicaHealth:
+    """One replica's standing, as this client has observed it."""
+
+    score: float = 1.0
+    consecutive_failures: int = 0
+    suspended_until: float = float("-inf")
+    probation_left: int = 0
+    successes: int = 0
+    failures: int = 0
+
+
+@dataclass
+class FailoverStats:
+    """Cumulative accounting across every call on one failover channel."""
+
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0        # calls where every candidate replica failed
+    fast_failures: int = 0   # calls failed instantly: all replicas benched
+    attempts: int = 0        # per-replica attempts (not channel retries)
+    failovers: int = 0       # calls answered by a non-primary replica
+    suspensions: int = 0
+    by_replica: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def _replica(self, index: int) -> Dict[str, int]:
+        return self.by_replica.setdefault(
+            index, {"attempts": 0, "successes": 0, "failures": 0}
+        )
+
+
+class FailoverChannel:
+    """Replica selection and failover over per-replica control channels.
+
+    Parameters
+    ----------
+    sim:
+        Simulator (for the clock; suspensions are sim-time windows).
+    channels:
+        One :class:`ControlChannel` (or anything exposing
+        ``call_lookup()`` / ``call_report(report)``) per replica.
+    rng:
+        Sim-seeded RNG; required when ``config.suspend_jitter > 0``.
+    config:
+        :class:`FailoverConfig` (defaults apply when omitted).
+    preference:
+        Optional permutation of replica indices expressing nearness:
+        ties in health break toward earlier entries, and the first entry
+        is the initial sticky replica.  This is how the service-level
+        ``NEAREST`` read policy is realized — the client prefers its
+        close replica and only walks down the list on failure.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channels: Sequence[ControlChannel],
+        *,
+        rng=None,
+        config: Optional[FailoverConfig] = None,
+        preference: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not channels:
+            raise ValueError("FailoverChannel needs at least one channel")
+        self.sim = sim
+        self.channels = list(channels)
+        self.config = config or FailoverConfig()
+        if rng is None and self.config.suspend_jitter > 0:
+            raise ValueError("suspension jitter requires an rng")
+        self.rng = rng
+        n = len(self.channels)
+        if preference is None:
+            preference = tuple(range(n))
+        if sorted(preference) != list(range(n)):
+            raise ValueError(
+                f"preference must be a permutation of 0..{n - 1}: {preference}"
+            )
+        self._pref_rank = {index: rank for rank, index in enumerate(preference)}
+        self._health: List[ReplicaHealth] = [ReplicaHealth() for _ in channels]
+        self._current = preference[0]
+        self.stats = FailoverStats()
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.channels)
+
+    @property
+    def current_replica(self) -> int:
+        """The sticky replica new calls try first (when not benched)."""
+        return self._current
+
+    def health(self, index: int) -> ReplicaHealth:
+        """This client's observed standing of replica ``index``."""
+        return self._health[index]
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def _suspended(self, index: int) -> bool:
+        return self.sim.now < self._health[index].suspended_until
+
+    def _try_order(self) -> List[int]:
+        """Non-benched replicas, best first.
+
+        Sticky current leads; replicas on probation sort after
+        full-standing ones; health score then preference rank settle the
+        rest.  Deterministic for a given state, so runs replay exactly.
+        """
+        order = [i for i in range(self.n_replicas) if not self._suspended(i)]
+        order.sort(
+            key=lambda i: (
+                0 if i == self._current else 1,
+                1 if self._health[i].probation_left > 0 else 0,
+                -self._health[i].score,
+                self._pref_rank[i],
+            )
+        )
+        return order
+
+    # ------------------------------------------------------------------
+    # Outcome accounting
+    # ------------------------------------------------------------------
+    def _record_success(self, index: int) -> None:
+        health = self._health[index]
+        alpha = self.config.health_alpha
+        health.score = (1 - alpha) * health.score + alpha
+        health.consecutive_failures = 0
+        health.successes += 1
+        if health.probation_left > 0:
+            health.probation_left -= 1
+
+    def _record_failure(self, index: int) -> None:
+        cfg = self.config
+        health = self._health[index]
+        health.score = (1 - cfg.health_alpha) * health.score
+        health.consecutive_failures += 1
+        health.failures += 1
+        window = min(
+            cfg.suspend_max_s,
+            cfg.suspend_base_s
+            * cfg.suspend_multiplier ** (health.consecutive_failures - 1),
+        )
+        if cfg.suspend_jitter > 0:
+            window *= 1.0 + float(self.rng.uniform(0.0, cfg.suspend_jitter))
+        health.suspended_until = self.sim.now + window
+        health.probation_left = cfg.probation_successes
+        self.stats.suspensions += 1
+
+    # ------------------------------------------------------------------
+    # Call machinery
+    # ------------------------------------------------------------------
+    def _call(self, op: str, report: Optional[ConnectionReport] = None) -> RpcResult:
+        self.stats.calls += 1
+        tele = _telemetry_session()
+        order = self._try_order()
+        if not order:
+            # Every replica is benched: fail fast, like an open breaker.
+            self.stats.fast_failures += 1
+            self.stats.failures += 1
+            if tele.enabled:
+                tele.registry.counter(
+                    "phi.replica_rpc_calls", replica="none", status="all_suspended"
+                ).inc()
+            return RpcResult(RpcStatus.CIRCUIT_OPEN, 0, 0.0)
+        primary = order[0]
+        attempts = 0
+        elapsed = 0.0
+        last: Optional[RpcResult] = None
+        for index in order:
+            channel = self.channels[index]
+            try:
+                if op == "lookup":
+                    result = channel.call_lookup()
+                else:
+                    result = channel.call_report(report)
+                status_label = result.status.value
+            except REPLICA_ERRORS:
+                # The RPC reached a live server whose backend refused to
+                # serve (e.g. quorum loss): a replica failure, not a
+                # call crash.  Costs no simulated time.
+                result = RpcResult(RpcStatus.SERVER_DOWN, 1, 0.0)
+                status_label = BACKEND_ERROR_STATUS
+            attempts += result.attempts
+            elapsed += result.elapsed_s
+            replica_stats = self.stats._replica(index)
+            replica_stats["attempts"] += 1
+            self.stats.attempts += 1
+            if tele.enabled:
+                tele.registry.counter(
+                    "phi.replica_rpc_calls",
+                    replica=str(index),
+                    status=status_label,
+                ).inc()
+            if result.ok:
+                replica_stats["successes"] += 1
+                self._record_success(index)
+                self.stats.successes += 1
+                if index != primary:
+                    self.stats.failovers += 1
+                    if tele.enabled:
+                        tele.registry.counter("phi.failovers").inc()
+                if (
+                    index != self._current
+                    and self._health[index].probation_left == 0
+                ):
+                    self._current = index
+                return RpcResult(RpcStatus.OK, attempts, elapsed, result.value)
+            replica_stats["failures"] += 1
+            self._record_failure(index)
+            last = result
+        self.stats.failures += 1
+        return RpcResult(last.status, attempts, elapsed)
+
+    # ------------------------------------------------------------------
+    # ControlChannel-compatible surfaces
+    # ------------------------------------------------------------------
+    def call_lookup(self) -> RpcResult:
+        """Connection-start lookup, failing over across replicas."""
+        return self._call("lookup")
+
+    def call_report(self, report: ConnectionReport) -> RpcResult:
+        """Connection-end report, failing over across replicas."""
+        return self._call("report", report)
+
+    def lookup(self) -> CongestionContext:
+        """ContextSource-compatible lookup; raises :class:`RpcError`."""
+        result = self.call_lookup()
+        if not result.ok:
+            raise RpcError(result)
+        return result.value
+
+    def report(self, report: ConnectionReport) -> None:
+        """ContextSource-compatible report; raises :class:`RpcError`."""
+        result = self.call_report(report)
+        if not result.ok:
+            raise RpcError(result)
+
+    def report_stats(self, stats: ConnectionStats) -> None:
+        """Convenience parity with :class:`ContextServer`."""
+        self.report(ConnectionReport.from_stats(stats, self.sim.now))

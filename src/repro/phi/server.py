@@ -223,6 +223,7 @@ class ContextServer:
 
         self.lookups = 0
         self.reports_received = 0
+        self.reports_absorbed = 0
         self.leases_expired = 0
         self.reports_rejected = 0
         self.report_rejections: dict = {}
@@ -273,6 +274,10 @@ class ContextServer:
             self._leases.popleft()
         self._reports.append(report)
         self._expire_old_reports()
+        self._fold_estimates(report)
+
+    def _fold_estimates(self, report: ConnectionReport) -> None:
+        """Fold one report into the queue-delay and loss EWMAs."""
         alpha = self.ewma_alpha
         if not self._have_estimate:
             self._queue_delay_ewma = report.queue_delay_s
@@ -289,6 +294,44 @@ class ContextServer:
     def report_stats(self, stats: ConnectionStats) -> None:
         """Convenience: build and submit a report from final stats."""
         self.report(ConnectionReport.from_stats(stats, self.sim.now))
+
+    # ------------------------------------------------------------------
+    # Replication hooks (anti-entropy; see repro.phi.replication)
+    # ------------------------------------------------------------------
+    def absorb(self, report: ConnectionReport) -> None:
+        """Fold a report learned from a peer replica into the estimators.
+
+        Anti-entropy replay: the replica that served the original lookup
+        already handled the lease lifecycle, so — unlike :meth:`report` —
+        no lease is released here.  The report is inserted in
+        ``reported_at`` order (it may predate locally received reports)
+        so the sliding-window expiry logic stays valid.  Robust-mode
+        validation still applies; a report that has already aged out of
+        the window teaches nothing and is skipped.
+        """
+        if self.robust is not None and report_invalid_reason(report) is not None:
+            # A peer should never replicate garbage (it validates on
+            # receipt), but a robust server stays robust regardless.
+            return
+        self._expire_old_reports()
+        if report.reported_at < self.sim.now - self.window_s:
+            return
+        index = len(self._reports)
+        while index > 0 and self._reports[index - 1].reported_at > report.reported_at:
+            index -= 1
+        self._reports.insert(index, report)
+        self._fold_estimates(report)
+        self.reports_absorbed += 1
+
+    def reset_leases(self, timestamps: Sequence[float]) -> None:
+        """Replace the outstanding-lease table wholesale.
+
+        Used by anti-entropy reconciliation: after replicas exchange
+        lease issue/release knowledge, each server's table is rewritten
+        to the merged view (sorted, so FIFO release and TTL expiry keep
+        popping oldest-first).
+        """
+        self._leases = deque(sorted(timestamps))
 
     # ------------------------------------------------------------------
     # Estimation

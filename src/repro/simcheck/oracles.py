@@ -22,7 +22,13 @@ the metamorphic transforms — and reports what it compared:
   tolerances below absorb it;
 - **unit rescale**: re-expressing throughput/delay in different units
   multiplies every P_l by one constant, so P_l *ratios* between
-  operating points are invariant.
+  operating points are invariant;
+- **replication identity**: the replicated control plane collapsed to a
+  single replica must be bit-identical (events included) to the plain
+  single-server stack;
+- **replica convergence**: a healed partition's divergence must fall
+  below epsilon within a bounded number of anti-entropy rounds and stay
+  there.
 
 This module intentionally lives outside the ``repro.simcheck`` package
 ``__init__`` import graph: it imports the experiment and runner layers,
@@ -34,10 +40,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..experiments.degraded import run_degraded_phi_cubic
 from ..experiments.dumbbell import ScenarioResult
-from ..experiments.scenarios import TABLE3_REMY, ScenarioPreset, run_cubic_fixed
+from ..experiments.partitioned import run_partitioned_phi_cubic
+from ..experiments.scenarios import (
+    FIG2A_LOW_UTILIZATION,
+    TABLE3_REMY,
+    ScenarioPreset,
+    run_cubic_fixed,
+)
 from ..metrics.power import power_with_loss
+from ..phi.policy import REFERENCE_POLICY
+from ..phi.replication import ReplicatedContextService, ReplicationConfig
+from ..phi.server import ConnectionReport
 from ..runner import NullCache, SweepRunner
+from ..simnet.engine import Simulator
 from ..transport.cubic import CubicParams
 from ..workload.onoff import OnOffConfig
 from .violations import ViolationReport
@@ -389,6 +406,173 @@ def oracle_unit_rescale() -> OracleOutcome:
     )
 
 
+#: Divergence below this is "converged" for the replica-convergence
+#: oracle: replicated estimators reconcile to float-rounding agreement.
+CONVERGENCE_EPSILON = 1e-6
+
+#: Anti-entropy rounds a healed component gets to reconverge before the
+#: oracle calls it divergent.
+CONVERGENCE_ROUNDS = 3
+
+
+def oracle_replication_identity(
+    preset: ScenarioPreset = FIG2A_LOW_UTILIZATION,
+    duration_s: float = 10.0,
+    seed: int = 0,
+) -> OracleOutcome:
+    """An N=1 replicated control plane is the single-server plane, exactly.
+
+    The full PR 1 degradation stack with one :class:`ContextServer`
+    behind one :class:`ControlChannel` (``run_degraded_phi_cubic`` at
+    zero unavailability) and the replicated stack collapsed to one
+    replica (``run_partitioned_phi_cubic`` at ``n_replicas=1``, severity
+    0 — replica handle, failover channel, anti-entropy machinery all
+    present but with nothing to do) must agree bit-for-bit, *including
+    the event count*: the replication layer schedules no anti-entropy
+    ticks for a single replica, and jitters draw only on failure paths.
+    """
+    single = run_degraded_phi_cubic(
+        REFERENCE_POLICY, preset, unavailability=0.0,
+        seed=seed, duration_s=duration_s,
+    )
+    replicated = run_partitioned_phi_cubic(
+        REFERENCE_POLICY, preset, n_replicas=1, severity=0.0,
+        seed=seed, duration_s=duration_s,
+    )
+    failures = _compare_scenarios(single.result, replicated.result)
+    if single.result.events_processed != replicated.result.events_processed:
+        failures.append(
+            f"event count differs: {single.result.events_processed} vs "
+            f"{replicated.result.events_processed}"
+        )
+    if single.decision_counts != replicated.decision_counts:
+        failures.append(
+            f"decision counts differ: {single.decision_counts} vs "
+            f"{replicated.decision_counts}"
+        )
+    return OracleOutcome(
+        name="replication-identity",
+        passed=not failures,
+        failures=failures,
+        details={
+            "events": single.result.events_processed,
+            "decisions": dict(single.decision_counts),
+        },
+    )
+
+
+def oracle_replica_convergence(
+    duration_s: float = 10.0,
+    seed: int = 0,
+    n_replicas: int = 3,
+    period_s: float = 1.0,
+    epsilon: float = CONVERGENCE_EPSILON,
+    rounds: int = CONVERGENCE_ROUNDS,
+) -> OracleOutcome:
+    """Post-heal anti-entropy drives replica divergence below epsilon.
+
+    One replica is severed from its peers while divergent traffic
+    reports land on the majority side; divergence must be visible while
+    the partition stands, then fall below ``epsilon`` within ``rounds``
+    anti-entropy periods of the heal — the bounded-convergence guarantee
+    the X7 experiment leans on.  Deterministic: no RNG is involved, so
+    ``seed`` only labels the outcome.
+    """
+    sim = Simulator()
+    capacity_bps = 10e6
+    service = ReplicatedContextService(
+        sim,
+        capacity_bps,
+        config=ReplicationConfig(
+            n_replicas=n_replicas, anti_entropy_period_s=period_s
+        ),
+    )
+    isolated = n_replicas - 1
+    for peer in range(isolated):
+        service.sever(peer, isolated)
+
+    def feed(flow_id: int) -> None:
+        # ~2 Mbps of goodput per report, all landing on replica 0: the
+        # majority's utilization estimate rises, the isolated replica's
+        # stays at zero.
+        service.handle(0).report(
+            ConnectionReport(
+                flow_id=flow_id,
+                reported_at=sim.now,
+                bytes_transferred=250_000,
+                duration_s=1.0,
+                mean_rtt_s=0.05,
+                min_rtt_s=0.04,
+                loss_indicator=0.0,
+            )
+        )
+
+    partition_end_s = duration_s / 2
+    feed_count = max(2, int(partition_end_s) - 1)
+    for index in range(feed_count):
+        sim.schedule_at(0.5 + index, feed, index + 1)
+
+    def heal() -> None:
+        for peer in range(isolated):
+            service.heal(peer, isolated)
+
+    sim.schedule_at(partition_end_s, heal)
+    sim.run(until=duration_s)
+
+    failures: List[str] = []
+    during = [
+        d for t, d in service.divergence_history
+        if t <= partition_end_s
+    ]
+    if not during or max(during) <= epsilon:
+        failures.append(
+            f"no divergence observed during the partition "
+            f"(max {max(during) if during else 0.0:g}); oracle has no signal"
+        )
+    deadline = partition_end_s + rounds * period_s
+    post_deadline = [
+        (t, d) for t, d in service.divergence_history if t > deadline
+    ]
+    converged_by = next(
+        (
+            t for t, d in service.divergence_history
+            if t > partition_end_s and d <= epsilon
+        ),
+        None,
+    )
+    if converged_by is None or converged_by > deadline:
+        failures.append(
+            f"divergence not below {epsilon:g} within {rounds} rounds of the "
+            f"heal (deadline t={deadline:g}, converged at {converged_by})"
+        )
+    for t, d in post_deadline:
+        if d > epsilon:
+            failures.append(
+                f"divergence re-opened after convergence: {d:g} at t={t:g}"
+            )
+            break
+    final = service.replica_divergence()
+    if final > epsilon:
+        failures.append(f"final divergence {final:g} > {epsilon:g}")
+    if service.anti_entropy_merges == 0 or service.reports_replicated == 0:
+        failures.append(
+            f"anti-entropy did no work: merges={service.anti_entropy_merges} "
+            f"reports_replicated={service.reports_replicated}"
+        )
+    return OracleOutcome(
+        name="replica-convergence",
+        passed=not failures,
+        failures=failures,
+        details={
+            "max_divergence": max(during) if during else 0.0,
+            "converged_at": converged_by,
+            "deadline": deadline,
+            "anti_entropy_merges": service.anti_entropy_merges,
+            "reports_replicated": service.reports_replicated,
+        },
+    )
+
+
 #: Oracle registry for the CLI: name -> zero-config callable.
 ORACLES = {
     "checked-vs-unchecked": oracle_checked_vs_unchecked,
@@ -397,6 +581,8 @@ ORACLES = {
     "grid-permutation": oracle_grid_permutation,
     "time-dilation": oracle_time_dilation,
     "unit-rescale": oracle_unit_rescale,
+    "replication-identity": oracle_replication_identity,
+    "replica-convergence": oracle_replica_convergence,
 }
 
 

@@ -19,6 +19,7 @@ from .faults import (
     LinkFault,
     LinkFlap,
     LinkOutage,
+    Partition,
     RandomLoss,
     ServerOutage,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "RandomLoss",
     "RedQueue",
     "Node",
+    "Partition",
     "ServerOutage",
     "Packet",
     "PacketKind",

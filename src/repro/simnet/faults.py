@@ -17,9 +17,16 @@ Available faults:
   bouncing interface or a route withdrawing and re-announcing.
 - :class:`DelaySpike` — adds extra one-way delay for a window (a
   reroute through a longer path, or bufferbloat upstream).
-- :class:`ServerOutage` — takes any ``mark_down()``/``mark_up()`` target
-  (e.g. a :class:`repro.phi.channel.ControlChannel`) offline for a
-  window; the control-plane analogue of :class:`LinkOutage`.
+- :class:`ServerOutage` — takes one or more ``mark_down()``/``mark_up()``
+  targets (e.g. :class:`repro.phi.channel.ControlChannel` instances)
+  offline for a window; the control-plane analogue of
+  :class:`LinkOutage`.  A whole replica group can be failed as one fault.
+- :class:`Partition` — severs an arbitrary *set* of paths for a window:
+  link paths are black-holed, control-plane targets are marked down, and
+  replica-mesh edges are severed on any duck-typed mesh exposing
+  ``sever(i, j)`` / ``heal(i, j)`` (in practice a
+  :class:`repro.phi.replication.ReplicatedContextService`).  This is the
+  chaos primitive behind the X7 partition sweep.
 
 A :class:`FaultInjector` registry builds and tracks faults for a run so
 scenarios can declare a whole fault schedule in one place.
@@ -28,7 +35,7 @@ scenarios can declare a whole fault schedule in one place.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional, Protocol
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -349,18 +356,20 @@ class Outageable(Protocol):
 
 
 class ServerOutage:
-    """Takes a control-plane target offline during [start, end).
+    """Takes control-plane targets offline during [start, end).
 
-    The target is anything exposing ``mark_down()`` / ``mark_up()`` —
-    in practice a :class:`repro.phi.channel.ControlChannel`.  Overlapping
-    outages compose: the channel counts down-marks, so the target comes
-    back only when every overlapping outage has ended.
+    ``target`` is anything exposing ``mark_down()`` / ``mark_up()`` —
+    in practice a :class:`repro.phi.channel.ControlChannel` — or a
+    sequence of such targets, so a whole replica group fails (and heals)
+    as one fault.  Overlapping outages compose: the channel counts
+    down-marks, so a target comes back only when every overlapping
+    outage has ended.
     """
 
     def __init__(
         self,
         sim: Simulator,
-        target: Outageable,
+        target: Union[Outageable, Sequence[Outageable]],
         start_s: float,
         duration_s: float,
     ) -> None:
@@ -368,8 +377,17 @@ class ServerOutage:
             raise ValueError(f"duration must be positive: {duration_s}")
         if start_s < sim.now:
             raise ValueError(f"outage start {start_s} is in the past")
+        targets: Tuple[Outageable, ...]
+        if isinstance(target, (list, tuple)):
+            targets = tuple(target)
+        else:
+            targets = (target,)
+        if not targets:
+            raise ValueError("ServerOutage needs at least one target")
         self.sim = sim
-        self.target = target
+        self.targets = targets
+        #: First target, kept for the original single-target API.
+        self.target = targets[0]
         self.start_s = start_s
         self.duration_s = duration_s
         self.active = False
@@ -377,17 +395,121 @@ class ServerOutage:
 
     @property
     def end_s(self) -> float:
-        """First instant this outage no longer holds the target down."""
+        """First instant this outage no longer holds the targets down."""
         return self.start_s + self.duration_s
 
     def _begin(self) -> None:
         self.active = True
-        self.target.mark_down()
+        for target in self.targets:
+            target.mark_down()
         self.sim.schedule(self.duration_s, self._end)
 
     def _end(self) -> None:
         self.active = False
-        self.target.mark_up()
+        for target in self.targets:
+            target.mark_up()
+
+
+class ReplicaMesh(Protocol):
+    """Anything whose inter-replica edges can be severed and healed
+    (duck-typed so :mod:`repro.simnet` never imports the control-plane
+    layer; in practice a
+    :class:`repro.phi.replication.ReplicatedContextService`)."""
+
+    def sever(self, i: int, j: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def heal(self, i: int, j: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class _PartitionLeg(LinkFault):
+    """One link black-holed by a :class:`Partition` while it is active."""
+
+    def __init__(self, link: Link) -> None:
+        super().__init__(link)
+        self.packets_blackholed = 0
+
+    def apply(self, packet: Packet, forward: Callable[[Packet], None]) -> None:
+        self.packets_blackholed += 1
+
+
+class Partition:
+    """Severs a set of paths during [start, end), healing them together.
+
+    A network partition is rarely one dead link: it cuts a *set* of
+    paths at once — data-plane links, sender↔replica control channels,
+    and replica↔replica gossip edges — and heals them together.  This
+    fault models that as one schedulable unit:
+
+    - every link in ``links`` is black-holed (stacking on the link's
+      delivery chain, so it composes with :class:`LinkFlap`,
+      :class:`DelaySpike`, ... exactly like :class:`LinkOutage`);
+    - every control-plane target in ``targets`` is ``mark_down()``-ed
+      (nesting with :class:`ServerOutage` via the down-mark counter);
+    - every ``(i, j)`` pair in ``edges`` is severed on ``mesh`` so
+      replicas stop anti-entropy merging across the cut.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        start_s: float,
+        duration_s: float,
+        *,
+        links: Sequence[Link] = (),
+        targets: Sequence[Outageable] = (),
+        mesh: Optional[ReplicaMesh] = None,
+        edges: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive: {duration_s}")
+        if start_s < sim.now:
+            raise ValueError(f"partition start {start_s} is in the past")
+        if edges and mesh is None:
+            raise ValueError("severing mesh edges requires a mesh")
+        if not (links or targets or edges):
+            raise ValueError("a partition must sever at least one path")
+        self.sim = sim
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.targets = tuple(targets)
+        self.mesh = mesh
+        self.edges = tuple(tuple(edge) for edge in edges)
+        self._legs = [_PartitionLeg(link) for link in links]
+        self.active = False
+        self.heals = 0
+        sim.schedule_at(start_s, self._begin)
+
+    @property
+    def end_s(self) -> float:
+        """First instant every severed path works again."""
+        return self.start_s + self.duration_s
+
+    @property
+    def packets_blackholed(self) -> int:
+        """Data-plane packets lost into the severed links so far."""
+        return sum(leg.packets_blackholed for leg in self._legs)
+
+    def _begin(self) -> None:
+        self.active = True
+        for leg in self._legs:
+            leg._install()
+        for target in self.targets:
+            target.mark_down()
+        for i, j in self.edges:
+            self.mesh.sever(i, j)
+        self.sim.schedule(self.duration_s, self._end)
+
+    def _end(self) -> None:
+        self.active = False
+        self.heals += 1
+        for leg in self._legs:
+            leg._uninstall()
+        for target in self.targets:
+            target.mark_up()
+        for i, j in self.edges:
+            self.mesh.heal(i, j)
 
 
 class FaultInjector:
@@ -426,9 +548,34 @@ class FaultInjector:
         return self.add(DelaySpike(self.sim, link, start_s, duration_s, extra_delay_s))
 
     def server_outage(
-        self, target: Outageable, start_s: float, duration_s: float
+        self,
+        target: Union[Outageable, Sequence[Outageable]],
+        start_s: float,
+        duration_s: float,
     ) -> ServerOutage:
         return self.add(ServerOutage(self.sim, target, start_s, duration_s))
+
+    def partition(
+        self,
+        start_s: float,
+        duration_s: float,
+        *,
+        links: Sequence[Link] = (),
+        targets: Sequence[Outageable] = (),
+        mesh: Optional[ReplicaMesh] = None,
+        edges: Sequence[Tuple[int, int]] = (),
+    ) -> Partition:
+        return self.add(
+            Partition(
+                self.sim,
+                start_s,
+                duration_s,
+                links=links,
+                targets=targets,
+                mesh=mesh,
+                edges=edges,
+            )
+        )
 
     def active_faults(self) -> List[object]:
         """Faults currently interposing (installed link faults or active windows)."""

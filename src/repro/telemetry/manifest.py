@@ -35,6 +35,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "git_describe",
     "load_manifest",
+    "partition_manifest",
     "poison_manifest",
     "run_manifest",
     "summarize_manifest",
@@ -336,6 +337,115 @@ def poison_manifest(
         "baseline_throughput_by_seed": {
             str(seed): metrics_.throughput_mbps
             for seed, metrics_ in sorted(outcome.baseline_by_seed.items())
+        },
+    }
+    return manifest
+
+
+def partition_manifest(
+    outcome,
+    *,
+    metrics: Optional[Dict[str, Any]] = None,
+    command: str = "partition",
+    extra_config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a manifest from a partitioned-control-plane sweep outcome.
+
+    Besides transport metrics, every point carries the replication
+    stack's accounting — failover and anti-entropy counts, divergence
+    extrema, decision counts — so the manifest alone answers "which
+    partitions were survived, and at what replication cost".
+    """
+    spec = outcome.spec
+    config = {
+        "preset": spec.preset.name,
+        "topology": _plain_config(spec.preset.config),
+        "workload": _plain_config(spec.preset.workload),
+        "duration_s": float(
+            spec.duration_s
+            if spec.duration_s is not None
+            else spec.preset.duration_s
+        ),
+        "read_policy": spec.read_policy.value,
+        "partition_start_s": spec.partition_start_s,
+        "staleness_ttl_s": spec.staleness_ttl_s,
+        "anti_entropy_period_s": spec.anti_entropy_period_s,
+        "n_points": len(outcome.results),
+    }
+    if extra_config:
+        config.update(extra_config)
+    manifest = _base_manifest(
+        command,
+        config,
+        {"seeds": sorted({r.seed for r in outcome.results})},
+        metrics if metrics is not None else outcome.telemetry,
+    )
+    for point in outcome.results:
+        manifest["points"].append(
+            {
+                "key": _content_hash(
+                    (point.n_replicas, point.severity, point.heal_s, point.seed)
+                ),
+                "params": {
+                    "n_replicas": point.n_replicas,
+                    "severity": point.severity,
+                    "heal_s": point.heal_s,
+                    "n_cut": point.n_cut,
+                },
+                "seed": point.seed,
+                "run_index": 0,
+                "status": "computed",
+                "wall_seconds": point.wall_seconds,
+                "events_processed": point.events_processed,
+                "retries": 0,
+                "failures": [],
+                "metrics": {
+                    "throughput_mbps": point.metrics.throughput_mbps,
+                    "queueing_delay_ms": point.metrics.queueing_delay_ms,
+                    "loss_rate": point.metrics.loss_rate,
+                    "power_l": point.metrics.power_l,
+                },
+                "replication": {
+                    "decision_counts": dict(point.decision_counts),
+                    "failovers": point.failovers,
+                    "fast_failures": point.fast_failures,
+                    "anti_entropy_merges": point.anti_entropy_merges,
+                    "reports_replicated": point.reports_replicated,
+                    "quorum_rejections": point.quorum_rejections,
+                    "final_divergence": point.final_divergence,
+                    "max_divergence": point.max_divergence,
+                },
+            }
+        )
+    decisions: Dict[str, int] = {}
+    for point in outcome.results:
+        for key, count in point.decision_counts.items():
+            decisions[key] = decisions.get(key, 0) + count
+    manifest["totals"] = {
+        "points": len(outcome.results),
+        "total_events": sum(p.events_processed for p in outcome.results),
+        "decision_counts": decisions,
+        "failovers": sum(p.failovers for p in outcome.results),
+        "fast_failures": sum(p.fast_failures for p in outcome.results),
+        "anti_entropy_merges": sum(
+            p.anti_entropy_merges for p in outcome.results
+        ),
+        "reports_replicated": sum(
+            p.reports_replicated for p in outcome.results
+        ),
+        "quorum_rejections": sum(p.quorum_rejections for p in outcome.results),
+        "max_divergence": max(
+            (p.max_divergence for p in outcome.results), default=0.0
+        ),
+        "stock_power_by_seed": {
+            str(seed): metrics_.power_l
+            for seed, metrics_ in sorted(outcome.stock_by_seed.items())
+        },
+        "degraded_power_by_heal_seed": {
+            f"{heal:g}/{seed}": metrics_.power_l
+            for (heal, seed), metrics_ in sorted(
+                outcome.degraded_by_heal_seed.items()
+            )
         },
     }
     return manifest

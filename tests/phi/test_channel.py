@@ -313,3 +313,52 @@ class TestCircuitBreaker:
             RpcStatus.OK,            # half-open probe succeeds
         ]
         assert backend.lookups == 1
+
+
+class TestBackoffJitter:
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(backoff_jitter=-0.1)
+
+    def test_jitter_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ControlChannel(
+                sim, FakeBackend(), config=ChannelConfig(backoff_jitter=0.25)
+            )
+
+    def test_jitter_scales_retry_backoff(self):
+        class TopRng(SeqRng):
+            def uniform(self, low, high):
+                return high
+
+        sim = Simulator()
+        cfg = ChannelConfig(
+            loss_probability=0.4, max_retries=3, backoff_jitter=0.5
+        )
+        # Two losses, then success — two jittered backoffs at full swing.
+        channel = ControlChannel(
+            sim, FakeBackend(), config=cfg, rng=TopRng([0.1, 0.2, 0.9])
+        )
+        result = channel.call_lookup()
+        assert result.ok and result.attempts == 3
+        expected = (
+            2 * cfg.timeout_s
+            + 1.5 * (cfg.backoff_s(0) + cfg.backoff_s(1))
+            + cfg.latency_s
+        )
+        assert result.elapsed_s == pytest.approx(expected)
+
+    def test_zero_draw_matches_unjittered(self):
+        """uniform() returning the low end reproduces the plain schedule —
+        the jittered channel nests the deterministic one."""
+        sim = Simulator()
+        cfg = ChannelConfig(
+            loss_probability=0.4, max_retries=3, backoff_jitter=0.5
+        )
+        channel = ControlChannel(
+            sim, FakeBackend(), config=cfg, rng=SeqRng([0.1, 0.9])
+        )
+        result = channel.call_lookup()
+        expected = cfg.timeout_s + cfg.backoff_s(0) + cfg.latency_s
+        assert result.elapsed_s == pytest.approx(expected)

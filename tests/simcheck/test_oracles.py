@@ -8,6 +8,8 @@ from repro.simcheck.oracles import (
     dilated_preset,
     oracle_checked_vs_unchecked,
     oracle_flow_permutation,
+    oracle_replica_convergence,
+    oracle_replication_identity,
     oracle_time_dilation,
     oracle_unit_rescale,
     run_oracles,
@@ -56,6 +58,15 @@ class TestOracles:
         assert outcome.passed, outcome.failures
         assert outcome.details["k"] == 2.0
 
+    def test_replication_identity_bit_identical(self):
+        outcome = oracle_replication_identity(duration_s=4.0, seed=3)
+        assert outcome.passed, outcome.failures
+
+    def test_replica_convergence_bounded(self):
+        outcome = oracle_replica_convergence(duration_s=8.0, seed=3)
+        assert outcome.passed, outcome.failures
+        assert outcome.details["max_divergence"] > 0
+
     def test_registry_covers_issue_matrix(self):
         assert {
             "checked-vs-unchecked",
@@ -64,6 +75,8 @@ class TestOracles:
             "grid-permutation",
             "time-dilation",
             "unit-rescale",
+            "replication-identity",
+            "replica-convergence",
         } <= set(ORACLES)
 
     def test_run_oracles_selection_and_unknown_name(self):
@@ -71,6 +84,13 @@ class TestOracles:
         assert [o.name for o in outcomes] == ["unit-rescale"]
         with pytest.raises(ValueError):
             run_oracles(["no-such-oracle"])
+
+    def test_run_oracles_dispatches_replication_oracles(self):
+        outcomes = run_oracles(
+            ["replication-identity", "replica-convergence"],
+            duration_s=4.0, seed=0,
+        )
+        assert all(o.passed for o in outcomes), [o.failures for o in outcomes]
 
     def test_outcome_serializes(self):
         import json

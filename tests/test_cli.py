@@ -244,6 +244,52 @@ class TestPoisonCommand:
         assert manifest["points"][0]["defence"]["decision_counts"]
 
 
+class TestPartitionCommand:
+    MINI = [
+        "partition", "--preset", "fig2a-low-utilization",
+        "--replicas", "3", "--severities", "0.34", "--heals", "8",
+        "--seeds", "0", "--duration", "25", "--quiet",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["partition"])
+        assert args.preset == "fig2a-low-utilization"
+        assert args.replicas == [1, 3]
+        assert args.severities == [0.0, 0.34, 1.0]
+        assert args.heals == [10.0]
+        assert args.partition_start == 10.0
+        assert args.seeds == [0, 1]
+        assert args.read_policy == "any"
+
+    def test_unknown_read_policy_exits_2(self, capsys):
+        assert main(["partition", "--read-policy", "psychic"]) == 2
+        assert "unknown read policy" in capsys.readouterr().err
+
+    def test_minority_partition_holds_envelope(self, capsys):
+        assert main(self.MINI) == 0
+        assert "safety envelope holds" in capsys.readouterr().out
+
+    def test_serial_check_bit_identical(self, capsys):
+        assert main(self.MINI + ["--serial-check"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_writes_manifest_with_replication_metrics(self, tmp_path, capsys):
+        from repro.telemetry.manifest import load_manifest, validate_manifest
+
+        manifest_path = str(tmp_path / "partition.json")
+        assert main(self.MINI + ["--metrics-out", manifest_path]) == 0
+        manifest = load_manifest(manifest_path)
+        assert validate_manifest(manifest) == []
+        assert manifest["command"] == "partition"
+        assert manifest["config"]["read_policy"] == "any"
+        counters = manifest["metrics"]["counters"]
+        assert any("phi.replica_rpc_calls" in key for key in counters)
+        point = manifest["points"][0]
+        assert point["replication"]["failovers"] >= 1
+        assert point["replication"]["anti_entropy_merges"] > 0
+        assert manifest["totals"]["failovers"] >= 1
+
+
 class TestCheck:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["check"])
