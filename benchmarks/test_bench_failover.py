@@ -80,6 +80,7 @@ def test_bench_failover_overhead(benchmark, capfd):
 
     entry = bench_entry(
         "bench-failover-overhead",
+        gate=("dispatch_tax", dispatch_tax, False),
         extra={
             "n_replicas": n_replicas,
             "duration_s": duration_s,

@@ -1,0 +1,103 @@
+"""Flight-recorder overhead benchmark: the table-3 hot path, armed vs off.
+
+The recorder's contract is ISSUE-grade strict: disabled, every
+instrumentation site costs one session lookup plus one ``enabled``
+check; armed, the bounded rings may cost at most 10% on the table-3
+hot path while leaving the simulation bit-identical (the recorder
+observes the event stream, it never perturbs it).
+
+Appends an entry gated on ``overhead_ratio`` (lower is better) to
+``BENCH_flightrec.json`` so ``repro bench gate`` can catch an
+instrumentation-cost regression commit over commit.
+"""
+
+import os
+import time
+
+from bench_common import report, run_once, scaled
+
+from repro import flightrec
+from repro.experiments.scenarios import TABLE3_REMY, run_cubic_fixed
+from repro.runner import append_bench_entry, bench_entry
+from repro.transport.cubic import CubicParams
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "BENCH_flightrec.json"
+)
+
+PARAMS = CubicParams(window_init=4.0, initial_ssthresh=64.0, beta=0.7)
+
+
+def _time_best_of(n, func):
+    """Best-of-n wall time: robust to scheduler noise on shared CI."""
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_flightrec_overhead(benchmark, capfd):
+    duration_s = scaled(20.0, None)
+    rounds = scaled(3, 5)
+
+    def run_disabled():
+        return run_cubic_fixed(PARAMS, TABLE3_REMY, seed=1, duration_s=duration_s)
+
+    def run_armed():
+        with flightrec.use() as rec:
+            result = run_cubic_fixed(
+                PARAMS, TABLE3_REMY, seed=1, duration_s=duration_s
+            )
+        return result, rec.simnet_emitted + rec.transport_emitted
+
+    baseline = run_disabled()  # warm interpreter state before timing
+
+    wall_disabled, _ = _time_best_of(rounds, run_disabled)
+    wall_armed, (recorded, events_captured) = _time_best_of(rounds, run_armed)
+    run_once(benchmark, run_disabled)
+
+    # Bit-identical trajectories: recording must not perturb the run.
+    assert recorded.events_processed == baseline.events_processed
+    assert recorded.metrics == baseline.metrics
+    # The armed run actually captured the lifecycle stream.
+    assert events_captured > 0
+    # And nothing leaked out of the scope.
+    assert not flightrec.session().enabled
+
+    ratio = wall_armed / max(wall_disabled, 1e-9)
+    events_per_second = baseline.events_processed / max(wall_disabled, 1e-9)
+
+    entry = bench_entry(
+        "bench-flightrec-overhead",
+        gate=("overhead_ratio", ratio, False),
+        extra={
+            "duration_s": duration_s,
+            "rounds": rounds,
+            "wall_disabled_s": wall_disabled,
+            "wall_armed_s": wall_armed,
+            "overhead_ratio": ratio,
+            "events_processed": baseline.events_processed,
+            "events_per_second_disabled": events_per_second,
+            "lifecycle_events_captured": events_captured,
+        },
+    )
+    append_bench_entry(BENCH_JSON, entry)
+
+    with report(capfd, "Flight-recorder overhead: table-3 hot path, armed vs off"):
+        print(f"sim duration: {duration_s or TABLE3_REMY.duration_s:.0f} s  "
+              f"events: {baseline.events_processed:,}  best of {rounds}")
+        print(f"{'recorder':<10s} {'wall (s)':>10s} {'events/s':>14s}")
+        print(f"{'off':<10s} {wall_disabled:>10.3f} {events_per_second:>14,.0f}")
+        print(f"{'armed':<10s} {wall_armed:>10.3f} "
+              f"{baseline.events_processed / max(wall_armed, 1e-9):>14,.0f}")
+        print(f"overhead: {(ratio - 1.0) * 100:+.2f}%   "
+              f"lifecycle events captured: {events_captured:,}")
+        print(f"trajectory: {BENCH_JSON}")
+
+    # ISSUE budget is 1.10x; pad for shared-CI scheduler noise.
+    assert ratio <= 1.25, (
+        f"flight-recorder overhead {ratio:.3f}x exceeds the noise-tolerant cap"
+    )

@@ -68,6 +68,7 @@ def test_bench_resilience_overhead(benchmark, capfd, tmp_path):
         "bench-resilience-overhead",
         serial=bare,
         parallel=journal,
+        gate=("journal_fsync_tax", tax_fsync, False),
         extra={
             "grid_points": len(grid),
             "n_runs": n_runs,

@@ -85,6 +85,7 @@ def test_bench_simcheck_overhead(benchmark, capfd):
 
     entry = bench_entry(
         "bench-simcheck-overhead",
+        gate=("overhead_ratio", ratio, False),
         extra={
             "duration_s": duration_s,
             "rounds": rounds,

@@ -97,6 +97,7 @@ def test_bench_sweep_runner(benchmark, capfd):
         "bench-table2-sweep",
         serial=serial,
         parallel=parallel,
+        gate=("speedup", speedup, True),
         extra={
             "grid_points": len(grid),
             "n_runs": n_runs,

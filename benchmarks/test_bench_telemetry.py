@@ -75,6 +75,7 @@ def test_bench_telemetry_overhead(benchmark, capfd):
 
     entry = bench_entry(
         "bench-telemetry-overhead",
+        gate=("overhead_ratio", ratio, False),
         extra={
             "duration_s": duration_s,
             "rounds": rounds,

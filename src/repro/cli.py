@@ -16,7 +16,16 @@ without writing Python:
 - ``repro-phi diagnose`` — the Figure-5 outage detection pipeline;
 - ``repro-phi telemetry summarize`` — render a run manifest as a table;
 - ``repro-phi check`` — differential/metamorphic correctness oracles and
-  randomized invariant fuzzing (see :mod:`repro.simcheck`).
+  randomized invariant fuzzing (see :mod:`repro.simcheck`);
+- ``repro-phi postmortem`` — per-flow timelines and stall attribution
+  from a flight-recorder dump (see :mod:`repro.flightrec`);
+- ``repro-phi bench gate`` — regression gate over ``BENCH_*.json``
+  benchmark trajectories.
+
+``cubic``, ``phi``, and ``sweep`` accept ``--profile`` (print the
+hottest event callbacks); ``poison`` and ``partition`` accept
+``--flightrec-out dump.jsonl`` (flight-record the sweep and dump it on
+a safety-envelope violation).
 
 ``cubic``, ``phi``, and ``sweep`` accept ``--metrics-out manifest.json``
 (telemetry run manifest: merged metrics, per-point provenance) and
@@ -31,6 +40,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import sys
 from contextlib import ExitStack
@@ -38,7 +48,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from . import telemetry
+from . import flightrec, telemetry
 from .diagnosis import (
     OutageSpec,
     TelemetryConfig,
@@ -58,6 +68,7 @@ from .experiments import (
     run_phi_cubic,
     run_poison_sweep,
 )
+from .flightrec.postmortem import DEFAULT_STALL_THRESHOLD_S, analyze_dump, render_text
 from .ipfix import (
     EgressTrafficModel,
     IpfixCollector,
@@ -73,6 +84,8 @@ from .runner import (
     RetryPolicy,
     append_bench_entry,
     bench_entry,
+    check_gate,
+    load_trajectory,
 )
 from .simcheck import ViolationReport
 from .simcheck.fuzz import draw_scenario, run_fuzz_case
@@ -110,6 +123,23 @@ def _write_telemetry_outputs(
     if args.trace_out:
         retained = tele.tracer.dump_jsonl(args.trace_out)
         print(f"telemetry trace: {args.trace_out} ({retained} record(s))")
+
+
+def _print_profile(profile: Optional[dict], k: int = 10) -> None:
+    """Render the top-``k`` hottest event callbacks of a profiled run."""
+    if not profile:
+        print("no profile collected", file=sys.stderr)
+        return
+    callbacks = profile.get("callbacks") or []
+    print(f"profile: {profile['events']:,} events in "
+          f"{profile['wall_seconds']:.2f}s wall "
+          f"({profile['events_per_second']:,.0f} events/s)")
+    print(f"{'callback':<58s} {'count':>10s} {'total s':>9s} {'avg us':>8s}")
+    for row in callbacks[:k]:
+        count = row["count"]
+        avg_us = (row["total_s"] / count * 1e6) if count else 0.0
+        print(f"{row['callback']:<58s} {count:>10,d} "
+              f"{row['total_s']:>9.3f} {avg_us:>8.1f}")
 
 
 def _preset_or_exit(name: str):
@@ -160,7 +190,8 @@ def cmd_cubic(args: argparse.Namespace) -> int:
         if _telemetry_wanted(args):
             tele = stack.enter_context(telemetry.use())
         result = run_cubic_fixed(
-            params, preset, seed=args.seed, duration_s=args.duration
+            params, preset, seed=args.seed, duration_s=args.duration,
+            profile=args.profile,
         )
         if tele is not None:
             _write_telemetry_outputs(
@@ -178,6 +209,8 @@ def cmd_cubic(args: argparse.Namespace) -> int:
             )
     _print_metrics(f"cubic wI={params.window_init:.0f} "
                    f"ssthr={params.initial_ssthresh:.0f} beta={params.beta}", result)
+    if args.profile:
+        _print_profile(result.profile)
     return 0
 
 
@@ -189,7 +222,8 @@ def cmd_phi(args: argparse.Namespace) -> int:
         if _telemetry_wanted(args):
             tele = stack.enter_context(telemetry.use())
         result = run_phi_cubic(
-            REFERENCE_POLICY, preset, mode, seed=args.seed, duration_s=args.duration
+            REFERENCE_POLICY, preset, mode, seed=args.seed,
+            duration_s=args.duration, profile=args.profile,
         )
         if tele is not None:
             _write_telemetry_outputs(
@@ -206,6 +240,8 @@ def cmd_phi(args: argparse.Namespace) -> int:
                 ),
             )
     _print_metrics(f"cubic-phi ({mode.value})", result)
+    if args.profile:
+        _print_profile(result.profile)
     return 0
 
 
@@ -234,6 +270,41 @@ def _float_list(text: str) -> List[float]:
     if not values:
         raise argparse.ArgumentTypeError("need at least one value")
     return values
+
+
+def _merge_point_profiles(points) -> Optional[dict]:
+    """Aggregate per-point run-loop profiles into one sweep-wide view.
+
+    Cached/resumed points carry no profile sidecar; they simply do not
+    contribute (the header line reports what was actually measured).
+    """
+    events = 0
+    wall = 0.0
+    merged: dict = {}
+    seen = False
+    for point in points:
+        profile = point.profile
+        if not profile:
+            continue
+        seen = True
+        events += profile.get("events", 0)
+        wall += profile.get("wall_seconds", 0.0)
+        for row in profile.get("callbacks") or []:
+            stat = merged.setdefault(row["callback"], [0, 0.0])
+            stat[0] += row["count"]
+            stat[1] += row["total_s"]
+    if not seen:
+        return None
+    ranked = sorted(merged.items(), key=lambda item: -item[1][1])
+    return {
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_second": events / wall if wall > 0 else 0.0,
+        "callbacks": [
+            {"callback": name, "count": stat[0], "total_s": stat[1]}
+            for name, stat in ranked
+        ],
+    }
 
 
 def _sweep_resilience(args: argparse.Namespace) -> ResilienceConfig:
@@ -287,6 +358,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            flightrec_dir=args.flightrec_dir,
+            profile=args.profile,
             **common,
         )
         if tele is not None:
@@ -350,6 +423,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
           f"quarantined={len(parallel_outcome.quarantined)}"
           + (" [serial fallback]" if parallel_outcome.serial_fallback else ""))
 
+    if args.profile:
+        _print_profile(_merge_point_profiles(parallel_outcome.points))
+
     results = parallel_outcome.to_sweep_results()
     if results:
         best = select_optimal(results)
@@ -360,10 +436,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("no surviving points; every point was quarantined", file=sys.stderr)
 
     if args.bench_json:
+        # Gate on the machine-independent ratio when the serial check
+        # ran; otherwise on raw parallel throughput (matches the legacy
+        # fallback metric name so old trajectories stay comparable).
+        if serial_outcome is not None and parallel_outcome.wall_seconds > 0:
+            gate = (
+                "speedup",
+                serial_outcome.wall_seconds / parallel_outcome.wall_seconds,
+                True,
+            )
+        else:
+            gate = (
+                "parallel.events_per_second",
+                parallel_outcome.events_per_second,
+                True,
+            )
         entry = bench_entry(
             f"cli-sweep-{preset.name}",
             serial=serial_outcome,
             parallel=parallel_outcome,
+            gate=gate,
             extra={
                 "grid_points": len(grid),
                 "n_runs": args.runs,
@@ -405,6 +497,13 @@ def cmd_poison(args: argparse.Namespace) -> int:
         duration_s=args.duration,
     )
     with ExitStack() as stack:
+        rec = None
+        if args.flightrec_out:
+            # Entered before telemetry.use so the metrics scope inherits
+            # the recorder (serial sweeps run in this process).
+            rec = stack.enter_context(
+                flightrec.use(autodump_path=args.flightrec_out)
+            )
         tele = None
         if _telemetry_wanted(args):
             tele = stack.enter_context(telemetry.use())
@@ -468,6 +567,10 @@ def cmd_poison(args: argparse.Namespace) -> int:
         print("SAFETY ENVELOPE VIOLATED:", file=sys.stderr)
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
+        if rec is not None:
+            dumped = rec.maybe_autodump(f"envelope:poison:{len(violations)}")
+            if dumped:
+                print(f"flight recording: {dumped}", file=sys.stderr)
         return 1
     print(f"safety envelope holds: every row within {args.tolerance:.0%} of "
           f"the uncoordinated baseline on power and throughput")
@@ -492,6 +595,13 @@ def cmd_partition(args: argparse.Namespace) -> int:
         duration_s=args.duration,
     )
     with ExitStack() as stack:
+        rec = None
+        if args.flightrec_out:
+            # Entered before telemetry.use so the metrics scope inherits
+            # the recorder (serial sweeps run in this process).
+            rec = stack.enter_context(
+                flightrec.use(autodump_path=args.flightrec_out)
+            )
         tele = None
         if _telemetry_wanted(args):
             tele = stack.enter_context(telemetry.use())
@@ -552,11 +662,62 @@ def cmd_partition(args: argparse.Namespace) -> int:
         print("SAFETY ENVELOPE VIOLATED:", file=sys.stderr)
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
+        if rec is not None:
+            dumped = rec.maybe_autodump(f"envelope:partition:{len(violations)}")
+            if dumped:
+                print(f"flight recording: {dumped}", file=sys.stderr)
         return 1
     print(f"safety envelope holds: every row within {args.tolerance:.0%} of "
           f"the stock floor; minority partitions within {args.tolerance:.0%} "
           f"of the single-server-outage baseline")
     return 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    try:
+        analysis = analyze_dump(
+            args.dump, stall_threshold_s=args.stall_threshold
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot analyze dump: {exc}", file=sys.stderr)
+        return 2
+    if args.flow is not None:
+        known = {entry["flow_id"] for entry in analysis["flows"]}
+        if args.flow not in known:
+            print(f"flow {args.flow} not in dump (flows: "
+                  f"{', '.join(map(str, sorted(known))) or 'none'})",
+                  file=sys.stderr)
+            return 2
+    if args.json:
+        if args.flow is not None:
+            analysis = dict(
+                analysis,
+                flows=[e for e in analysis["flows"] if e["flow_id"] == args.flow],
+            )
+        json.dump(analysis, sys.stdout, indent=2, allow_nan=False)
+        print()
+    else:
+        print(render_text(analysis, flow=args.flow))
+    return 0
+
+
+def cmd_bench_gate(args: argparse.Namespace) -> int:
+    paths = args.paths or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("no trajectory files (no paths given, no BENCH_*.json here)",
+              file=sys.stderr)
+        return 2
+    failed = 0
+    for path in paths:
+        trajectory = load_trajectory(path)
+        result = check_gate(path, trajectory, args.budget)
+        status = "PASS" if result.ok else "FAIL"
+        print(f"{status}  {path}: {result.reason}")
+        if not result.ok:
+            failed += 1
+    print(f"bench gate: {len(paths) - failed}/{len(paths)} trajectories "
+          f"within budget ({args.budget:g}%)")
+    return 1 if failed else 0
 
 
 def cmd_telemetry_summarize(args: argparse.Namespace) -> int:
@@ -694,12 +855,18 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--ssthresh", type=float, default=65536.0)
             p.add_argument("--beta", type=float, default=0.2)
 
+    def add_profile_arg(p):
+        p.add_argument("--profile", action="store_true",
+                       help="time every event callback; print the hottest ones")
+
     cubic = sub.add_parser("cubic", help="fixed-parameter Cubic run")
     add_run_args(cubic)
+    add_profile_arg(cubic)
     cubic.set_defaults(func=cmd_cubic)
 
     phi = sub.add_parser("phi", help="Phi-coordinated Cubic run")
     add_run_args(phi, with_params=False)
+    add_profile_arg(phi)
     phi.add_argument("--mode", choices=["practical", "ideal"], default="practical")
     phi.set_defaults(func=cmd_phi)
 
@@ -749,6 +916,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append timings to this BENCH trajectory file")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the progress line")
+    sweep.add_argument("--flightrec-dir", default=None, dest="flightrec_dir",
+                       help="arm the per-point flight recorder; anomaly dumps "
+                            "land here (default: the checkpoint dir, when set)")
+    add_profile_arg(sweep)
     add_telemetry_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
@@ -781,6 +952,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run serially; verify bit-identical results")
     poison.add_argument("--quiet", action="store_true",
                         help="suppress the per-row table")
+    poison.add_argument("--flightrec-out", default=None, dest="flightrec_out",
+                        help="record flight data; dump it here if the safety "
+                             "envelope is violated")
     add_telemetry_args(poison)
     poison.set_defaults(func=cmd_poison)
 
@@ -819,8 +993,42 @@ def build_parser() -> argparse.ArgumentParser:
                                 "results")
     partition.add_argument("--quiet", action="store_true",
                            help="suppress the per-row table")
+    partition.add_argument("--flightrec-out", default=None, dest="flightrec_out",
+                           help="record flight data; dump it here if the "
+                                "safety envelope is violated")
     add_telemetry_args(partition)
     partition.set_defaults(func=cmd_partition)
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="reconstruct per-flow timelines and stall causes from a "
+             "flight-recorder dump",
+    )
+    postmortem.add_argument("dump", help="path to a flightrec-*.jsonl dump")
+    postmortem.add_argument("--flow", type=int, default=None,
+                            help="show only this flow id")
+    postmortem.add_argument("--json", action="store_true",
+                            help="emit the full analysis as JSON")
+    postmortem.add_argument("--stall-threshold", type=float,
+                            default=DEFAULT_STALL_THRESHOLD_S,
+                            dest="stall_threshold",
+                            help="inter-activity gap (sim seconds) that "
+                                 "counts as a stall (default %(default)s)")
+    postmortem.set_defaults(func=cmd_postmortem)
+
+    bench = sub.add_parser("bench", help="benchmark trajectory tools")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    gate = bench_sub.add_parser(
+        "gate",
+        help="fail if the newest entry of any trajectory regresses past "
+             "the budget",
+    )
+    gate.add_argument("paths", nargs="*",
+                      help="trajectory files (default: ./BENCH_*.json)")
+    gate.add_argument("--budget", type=float, default=10.0,
+                      help="allowed regression vs the trajectory median, in "
+                           "percent (default %(default)s)")
+    gate.set_defaults(func=cmd_bench_gate)
 
     telemetry_parser = sub.add_parser(
         "telemetry", help="inspect telemetry artifacts"

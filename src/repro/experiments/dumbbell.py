@@ -9,7 +9,7 @@ outcome.  Benches, tests, and examples all go through these entry points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from .. import simcheck
 from ..metrics.summary import RunMetrics, summarize_connections
@@ -48,6 +48,7 @@ class ExperimentEnv:
         watchdog: Optional[WatchdogConfig] = None,
         checked: Optional[bool] = None,
         check_report: Optional[ViolationReport] = None,
+        profile: bool = False,
     ) -> "ExperimentEnv":
         """Build the topology and start the bottleneck monitor.
 
@@ -72,6 +73,10 @@ class ExperimentEnv:
             sim = Simulator()
         if watchdog is not None:
             sim.install_watchdog(SimWatchdog(watchdog))
+        if profile:
+            # Per-callback timing for ``--profile`` runs; observes wall
+            # time only, never the simulated trajectory.
+            sim.enable_profiling(callbacks=True)
         topology = DumbbellTopology(sim, config or DumbbellConfig())
         monitor = LinkMonitor(sim, topology.bottleneck, period_s=monitor_period_s)
         monitor.start()
@@ -120,6 +125,8 @@ class ScenarioResult:
     duration_s: float
     connections: int
     events_processed: int = 0
+    #: Run-loop profile (``SimProfile.as_dict()``) when profiling was on.
+    profile: Optional[Dict[str, Any]] = None
 
     def sender_metrics(self, indices: Sequence[int]) -> RunMetrics:
         """Metrics restricted to a subset of sender slots (Figure 4)."""
@@ -149,6 +156,8 @@ def run_onoff_scenario(
     check_report: Optional[ViolationReport] = None,
     slot_order: Optional[Sequence[int]] = None,
     monitor_period_s: float = 0.1,
+    profile: bool = False,
+    fault_hook: Optional[Callable[["ExperimentEnv"], Iterable[object]]] = None,
 ) -> ScenarioResult:
     """Run the paper's on/off workload over a fresh dumbbell.
 
@@ -161,6 +170,11 @@ def run_onoff_scenario(
     its index, so a permutation changes only event insertion order — the
     flow-permutation metamorphic oracle uses this to demand identical
     results.
+
+    ``fault_hook(env)`` runs after the environment is built and before
+    the clock starts; it may schedule data-plane faults on the fresh
+    topology and must return the fault objects it created so checked
+    runs credit absorbed packets in the conservation audit.
     """
     env = ExperimentEnv.create(
         config,
@@ -169,7 +183,9 @@ def run_onoff_scenario(
         watchdog=watchdog,
         checked=checked,
         check_report=check_report,
+        profile=profile,
     )
+    faults: List[object] = list(fault_hook(env)) if fault_hook is not None else []
     workload = workload or OnOffConfig()
     n_senders = env.topology.config.n_senders
     order = list(range(n_senders)) if slot_order is None else list(slot_order)
@@ -196,7 +212,7 @@ def run_onoff_scenario(
     for source in sources:
         source.stop()
     if env.checked:
-        env.audit()
+        env.audit(faults)
 
     per_sender = [src.all_stats(include_active=include_unfinished) for src in sources]
     return _summarize(env, per_sender, duration_s)
@@ -212,16 +228,25 @@ def run_long_running_scenario(
     watchdog: Optional[WatchdogConfig] = None,
     checked: Optional[bool] = None,
     check_report: Optional[ViolationReport] = None,
+    profile: bool = False,
+    fault_hook: Optional[Callable[["ExperimentEnv"], Iterable[object]]] = None,
 ) -> ScenarioResult:
     """Run persistent bulk flows (the Figure 2c setting).
 
     Flows start within the first second; statistics cover the whole run
     but utilization is reported post-warmup so slow-start transients do
-    not dilute the steady-state picture.
+    not dilute the steady-state picture.  ``fault_hook`` behaves as in
+    :func:`run_onoff_scenario`.
     """
     env = ExperimentEnv.create(
-        config, seed, watchdog=watchdog, checked=checked, check_report=check_report
+        config,
+        seed,
+        watchdog=watchdog,
+        checked=checked,
+        check_report=check_report,
+        profile=profile,
     )
+    faults: List[object] = list(fault_hook(env)) if fault_hook is not None else []
     n = env.topology.config.n_senders
     flows: List[LongRunningFlow] = []
     for index in range(n):
@@ -238,7 +263,7 @@ def run_long_running_scenario(
         )
     env.sim.run(until=duration_s)
     if env.checked:
-        env.audit()
+        env.audit(faults)
     per_sender = [[flow.finish()] for flow in flows]
     result = _summarize(env, per_sender, duration_s)
     # Recompute utilization excluding warm-up.
@@ -277,6 +302,7 @@ def _summarize(
         duration_s=duration_s,
         connections=len(all_stats),
         events_processed=env.sim.events_processed,
+        profile=env.sim.profile.as_dict() if env.sim.profile is not None else None,
     )
 
 

@@ -123,6 +123,8 @@ def run_cubic_fixed(
     check_report=None,
     slot_order: Optional[Sequence[int]] = None,
     monitor_period_s: float = 0.1,
+    profile: bool = False,
+    fault_hook=None,
 ) -> ScenarioResult:
     """All senders run Cubic with one fixed parameter setting.
 
@@ -146,6 +148,8 @@ def run_cubic_fixed(
             watchdog=watchdog,
             checked=checked,
             check_report=check_report,
+            profile=profile,
+            fault_hook=fault_hook,
         )
     return run_onoff_scenario(
         slots,
@@ -158,6 +162,8 @@ def run_cubic_fixed(
         check_report=check_report,
         slot_order=slot_order,
         monitor_period_s=monitor_period_s,
+        profile=profile,
+        fault_hook=fault_hook,
     )
 
 
@@ -190,6 +196,7 @@ def run_phi_cubic(
     mode: SharingMode = SharingMode.PRACTICAL,
     seed: int = 0,
     duration_s: Optional[float] = None,
+    profile: bool = False,
 ) -> ScenarioResult:
     """All senders use Phi: context lookup at start, report at end.
 
@@ -215,6 +222,7 @@ def run_phi_cubic(
             config=preset.config,
             duration_s=duration,
             seed=seed,
+            profile=profile,
         )
     return run_onoff_scenario(
         uniform_slots(build),
@@ -222,6 +230,7 @@ def run_phi_cubic(
         workload=preset.workload,
         duration_s=duration,
         seed=seed,
+        profile=profile,
     )
 
 

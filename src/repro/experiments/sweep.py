@@ -38,6 +38,8 @@ def run_parameter_sweep(
     watchdog: Optional[WatchdogConfig] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    flightrec_dir: Optional[str] = None,
+    profile: bool = False,
 ) -> SweepOutcome:
     """Sweep a Cubic parameter grid over ``preset`` via the runner.
 
@@ -50,6 +52,10 @@ def run_parameter_sweep(
     ``watchdog`` tune crash/hang supervision (see
     :mod:`repro.runner.resilience` and
     :class:`~repro.simnet.engine.SimWatchdog`).
+
+    ``flightrec_dir`` arms the per-point flight recorder (dumps land
+    there on anomalies; defaults to ``checkpoint_dir``); ``profile``
+    collects per-callback run-loop timings on every point.
     """
     points = list(grid) if grid is not None else list(cubic_sweep_grid())
     cache = DiskCache(cache_dir) if cache_dir is not None else None
@@ -63,6 +69,8 @@ def run_parameter_sweep(
         watchdog=watchdog,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        flightrec_dir=flightrec_dir,
+        profile=profile,
     )
     return runner.run(points, n_runs=n_runs, base_seed=base_seed, parallel=parallel)
 

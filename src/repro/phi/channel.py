@@ -202,6 +202,12 @@ class CircuitBreaker:
                 from_state=self._state.value,
                 to_state=new_state.value,
             ).inc()
+        rec = tele.flightrec
+        if rec.enabled:
+            rec.phi(
+                "breaker", self._now(), "breaker",
+                detail={"from": self._state.value, "to": new_state.value},
+            )
         self._state = new_state
 
     def allow(self) -> bool:
@@ -394,6 +400,16 @@ class ControlChannel:
                     status=result.status.value,
                     attempts=result.attempts,
                 )
+        rec = tele.flightrec
+        if rec.enabled:
+            rec.phi(
+                "rpc", self.sim.now, op,
+                detail={
+                    "status": result.status.value,
+                    "attempts": result.attempts,
+                    "elapsed_s": result.elapsed_s,
+                },
+            )
         return result
 
     def _call(self, fn: Callable[[], Any], op: str = "call") -> RpcResult:

@@ -266,6 +266,9 @@ class FailoverChannel:
                 tele.registry.counter(
                     "phi.replica_rpc_calls", replica="none", status="all_suspended"
                 ).inc()
+            rec = tele.flightrec
+            if rec.enabled:
+                rec.phi("all_suspended", self.sim.now, op)
             return RpcResult(RpcStatus.CIRCUIT_OPEN, 0, 0.0)
         primary = order[0]
         attempts = 0
@@ -304,6 +307,12 @@ class FailoverChannel:
                     self.stats.failovers += 1
                     if tele.enabled:
                         tele.registry.counter("phi.failovers").inc()
+                    rec = tele.flightrec
+                    if rec.enabled:
+                        rec.phi(
+                            "failover", self.sim.now, op,
+                            detail={"primary": primary, "served_by": index},
+                        )
                 if (
                     index != self._current
                     and self._health[index].probation_left == 0

@@ -174,6 +174,7 @@ class ResilientContextClient:
                     tele.registry.counter(
                         "phi.mode_time_s", mode=self._mode.value
                     ).inc(elapsed)
+        previous = self._mode
         self._mode = decision
         self._mode_since = now
         tele = _telemetry_session()
@@ -181,6 +182,16 @@ class ResilientContextClient:
             tele.registry.counter(
                 "phi.context_decisions", decision=decision.value
             ).inc()
+        if previous is not decision:
+            rec = tele.flightrec
+            if rec.enabled:
+                rec.phi(
+                    "mode", now, "context",
+                    detail={
+                        "from": previous.value if previous is not None else None,
+                        "to": decision.value,
+                    },
+                )
 
     def mode_times(self) -> Dict[str, float]:
         """Sim seconds spent in each decision mode, including the current one.
@@ -338,6 +349,17 @@ def resilient_phi_cubic_factory(
             params = policy.params_for(resolved.context)
         else:
             params = defaults
+        # Flight recorder: the causal link between this flow and the
+        # context mode it started under.
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.phi(
+                "context", sim.now, "lookup",
+                detail={
+                    "flow_id": spec.flow_id,
+                    "decision": resolved.decision.value,
+                },
+            )
 
         def report_and_complete(sender: TcpSender) -> None:
             client.observe_outcome(resolved, sender.stats)

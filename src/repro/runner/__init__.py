@@ -9,7 +9,14 @@ retries or quarantines failing points, and a checkpoint journal
 See DESIGN.md ("Sweep runner", "Failure modes") for the architecture.
 """
 
-from .bench import append_bench_entry, bench_entry, machine_fingerprint
+from .bench import (
+    GateResult,
+    append_bench_entry,
+    bench_entry,
+    check_gate,
+    load_trajectory,
+    machine_fingerprint,
+)
 from .cache import CacheStats, DiskCache, MemoryCache, NullCache
 from .checkpoint import CheckpointError, SweepJournal, sweep_key
 from .core import (
@@ -39,6 +46,7 @@ __all__ = [
     "DiskCache",
     "ExecutionReport",
     "FlowRecord",
+    "GateResult",
     "MemoryCache",
     "NullCache",
     "PointFailure",
@@ -57,9 +65,11 @@ __all__ = [
     "append_bench_entry",
     "bench_entry",
     "canonical_json",
+    "check_gate",
     "content_hash",
     "evaluate_point",
     "flow_records",
+    "load_trajectory",
     "machine_fingerprint",
     "point_key",
     "sweep_key",

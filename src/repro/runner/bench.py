@@ -1,9 +1,17 @@
-"""Benchmark trajectory files.
+"""Benchmark trajectory files and the regression gate over them.
 
-Each sweep benchmark appends one entry to a JSON trajectory file
-(``BENCH_sweep.json`` by convention) so the repo accumulates a
-wall-clock history across commits: serial vs parallel timings, events
-per second, speedup, and the hardware it ran on.
+Each benchmark appends one entry to a JSON trajectory file
+(``BENCH_*.json`` by convention) so the repo accumulates a wall-clock
+history across commits: serial vs parallel timings, events per second,
+speedup, and the hardware it ran on.
+
+Entries that declare a ``gate`` block — ``{"metric": ..., "value": ...,
+"higher_is_better": ...}`` — participate in the ``repro bench gate``
+regression check: the newest entry's gated metric is compared against
+the median of the prior entries' and the gate fails when it regresses
+by more than the budget.  Machine-independent ratios (overhead factor,
+speedup) make the best gate metrics; raw wall seconds gate poorly
+across hardware.
 """
 
 from __future__ import annotations
@@ -11,8 +19,10 @@ from __future__ import annotations
 import json
 import os
 import platform
+import statistics
 import time
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from .core import SweepOutcome
 
@@ -37,13 +47,26 @@ def bench_entry(
     serial: Optional[SweepOutcome] = None,
     parallel: Optional[SweepOutcome] = None,
     extra: Optional[Dict[str, Any]] = None,
+    gate: Optional[Tuple[str, float, bool]] = None,
 ) -> Dict[str, Any]:
-    """Build one trajectory entry from sweep outcomes."""
+    """Build one trajectory entry from sweep outcomes.
+
+    ``gate=(metric_name, value, higher_is_better)`` declares the metric
+    the ``repro bench gate`` regression check compares across the
+    trajectory.
+    """
     entry: Dict[str, Any] = {
         "label": label,
         "timestamp": time.time(),
         "machine": machine_fingerprint(),
     }
+    if gate is not None:
+        metric, value, higher_is_better = gate
+        entry["gate"] = {
+            "metric": metric,
+            "value": float(value),
+            "higher_is_better": bool(higher_is_better),
+        }
     if serial is not None:
         entry["serial"] = {
             "wall_seconds": serial.wall_seconds,
@@ -85,7 +108,144 @@ def append_bench_entry(path: str, entry: Dict[str, Any]) -> List[Dict[str, Any]]
     trajectory.append(entry)
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(trajectory, handle, indent=2)
+        # Strict JSON: a NaN timing would silently poison the gate's
+        # median; fail the write instead.
+        json.dump(trajectory, handle, indent=2, allow_nan=False)
         handle.write("\n")
     os.replace(tmp_path, path)
     return trajectory
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+
+#: Fallback metric paths probed (in order) for legacy entries without a
+#: ``gate`` block, as ``(dotted path, higher_is_better)``.
+_LEGACY_GATE_METRICS: Tuple[Tuple[str, bool], ...] = (
+    ("speedup", True),
+    ("parallel.events_per_second", True),
+    ("serial.events_per_second", True),
+)
+
+
+def _dig(entry: Dict[str, Any], dotted: str) -> Optional[float]:
+    node: Any = entry
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def _gate_metric(entry: Dict[str, Any]) -> Optional[Tuple[str, float, bool]]:
+    """``(metric, value, higher_is_better)`` for one entry, or None."""
+    gate = entry.get("gate")
+    if isinstance(gate, dict):
+        value = gate.get("value")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (
+                str(gate.get("metric", "gate")),
+                float(value),
+                bool(gate.get("higher_is_better", True)),
+            )
+    for dotted, higher in _LEGACY_GATE_METRICS:
+        value = _dig(entry, dotted)
+        if value is not None:
+            return (dotted, value, higher)
+    return None
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Verdict of the regression gate over one trajectory file."""
+
+    path: str
+    ok: bool
+    reason: str
+    metric: Optional[str] = None
+    newest: Optional[float] = None
+    baseline: Optional[float] = None
+    #: Fractional change of newest vs baseline, signed so positive is a
+    #: regression (slower / worse) regardless of metric direction.
+    regression: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "reason": self.reason,
+            "metric": self.metric,
+            "newest": self.newest,
+            "baseline": self.baseline,
+            "regression": self.regression,
+        }
+
+
+def check_gate(
+    path: str,
+    trajectory: List[Dict[str, Any]],
+    budget_pct: float,
+) -> GateResult:
+    """Compare the newest entry against the trajectory median.
+
+    The newest entry's gated metric is measured against the median of
+    every *prior* entry that reports the same metric (same-label entries
+    only, so one file can hold several benchmark series).  Fewer than
+    two comparable entries passes with ``insufficient history`` — a
+    fresh trajectory must not fail CI.
+    """
+    if not trajectory:
+        return GateResult(path, True, "empty trajectory")
+    newest_entry = trajectory[-1]
+    newest = _gate_metric(newest_entry)
+    if newest is None:
+        return GateResult(path, True, "newest entry has no gated metric")
+    metric, value, higher_is_better = newest
+    label = newest_entry.get("label")
+    priors = [
+        found[1]
+        for entry in trajectory[:-1]
+        if entry.get("label") == label
+        for found in [_gate_metric(entry)]
+        if found is not None and found[0] == metric
+    ]
+    if not priors:
+        return GateResult(
+            path, True, "insufficient history (no prior comparable entries)",
+            metric=metric, newest=value,
+        )
+    baseline = statistics.median(priors)
+    if baseline == 0:
+        return GateResult(
+            path, True, "zero baseline", metric=metric,
+            newest=value, baseline=baseline,
+        )
+    if higher_is_better:
+        regression = (baseline - value) / abs(baseline)
+    else:
+        regression = (value - baseline) / abs(baseline)
+    ok = regression <= budget_pct / 100.0
+    direction = "higher is better" if higher_is_better else "lower is better"
+    reason = (
+        f"{metric} ({direction}): newest {value:.6g} vs median {baseline:.6g} "
+        f"over {len(priors)} prior entr{'y' if len(priors) == 1 else 'ies'} "
+        f"-> {'regression' if regression > 0 else 'improvement'} "
+        f"{abs(regression) * 100:.2f}% (budget {budget_pct:.2f}%)"
+    )
+    return GateResult(
+        path, ok, reason, metric=metric,
+        newest=value, baseline=baseline, regression=regression,
+    )
+
+
+def load_trajectory(path: str) -> List[Dict[str, Any]]:
+    """Read one trajectory file (an empty list when missing/corrupt)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    return data if isinstance(data, list) else []

@@ -27,6 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
@@ -73,12 +74,30 @@ class SweepSpec:
     each point under a private telemetry session and ship the metrics
     snapshot back on the result, which observes the simulation without
     perturbing it.
+
+    ``flightrec_dir`` arms the flight recorder in every worker: a point
+    that fails (crash, watchdog trip, invariant violation) dumps its
+    rings to ``<flightrec_dir>/flightrec-<point_key>.jsonl`` before the
+    exception propagates — the dump exists even when the supervisor
+    later quarantines the point and the worker's memory is gone.
+    ``profile`` runs every point with per-callback run-loop profiling
+    and ships the profile back as a result sidecar.  All three are
+    observability knobs, excluded from cache keys.
+
+    ``fault`` injects a data-plane fault into every point:
+    ``("outage", start_s, duration_s)`` takes the bottleneck link down
+    for that window.  Unlike the knobs above it *changes trajectories*,
+    so it is part of the cache key whenever set (and absent from the
+    hash when ``None``, preserving historical keys).
     """
 
     preset: "ScenarioPreset"
     duration_s: Optional[float] = None
     watchdog: Optional[WatchdogConfig] = None
     collect_telemetry: bool = False
+    flightrec_dir: Optional[str] = None
+    profile: bool = False
+    fault: Optional[Tuple[str, float, float]] = None
 
     @property
     def effective_duration_s(self) -> float:
@@ -102,7 +121,29 @@ class SweepPoint:
             spec.preset.workload,
             spec.effective_duration_s,
             self.seed,
+            fault=list(spec.fault) if spec.fault is not None else None,
         )
+
+
+def _fault_hook(fault: Optional[Tuple[str, float, float]]):
+    """Materialize a :class:`SweepSpec` fault spec as a scenario hook."""
+    if fault is None:
+        return None
+    kind, start_s, duration_s = fault
+    if kind != "outage":
+        raise ValueError(f"unknown sweep fault kind: {kind!r}")
+
+    def hook(env):
+        from ..simnet.faults import LinkOutage
+
+        return [
+            LinkOutage(
+                env.sim, env.topology.bottleneck,
+                start_s=float(start_s), duration_s=float(duration_s),
+            )
+        ]
+
+    return hook
 
 
 def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
@@ -115,6 +156,7 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
     # Imported here, not at module top: repro.experiments imports this
     # module (experiments.sweep drives the runner), so the scenario
     # machinery has to bind lazily to keep the import graph acyclic.
+    from .. import flightrec as _flightrec
     from ..experiments.scenarios import run_cubic_fixed
 
     if _FAULT_ENV_VAR in os.environ:  # test-only fault injection hook
@@ -122,32 +164,40 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
 
         maybe_inject_fault(point)
 
+    key = point.key(spec)
     started = time.perf_counter()
     snapshot: Optional[Dict[str, Any]] = None
-    if spec.collect_telemetry:
-        # A private session per point: worker processes don't share
-        # memory with the parent, so metrics travel by value on the
-        # result and are merged deterministically at the by-index merge.
-        with _telemetry.use() as tele:
-            result = run_cubic_fixed(
-                point.params,
-                spec.preset,
-                seed=point.seed,
-                duration_s=spec.duration_s,
-                watchdog=spec.watchdog,
+    with ExitStack() as stack:
+        if spec.flightrec_dir is not None:
+            # Armed recorder: any exception unwinding this scope —
+            # watchdog trip, invariant violation, injected crash —
+            # leaves a post-mortem dump next to the sweep journal.
+            stack.enter_context(
+                _flightrec.capture(
+                    os.path.join(spec.flightrec_dir, f"flightrec-{key}.jsonl")
+                )
             )
-            snapshot = tele.registry.snapshot()
-    else:
+        tele = None
+        if spec.collect_telemetry:
+            # A private session per point: worker processes don't share
+            # memory with the parent, so metrics travel by value on the
+            # result and are merged deterministically at the by-index
+            # merge.  (The ambient flight recorder is inherited.)
+            tele = stack.enter_context(_telemetry.use())
         result = run_cubic_fixed(
             point.params,
             spec.preset,
             seed=point.seed,
             duration_s=spec.duration_s,
             watchdog=spec.watchdog,
+            profile=spec.profile,
+            fault_hook=_fault_hook(spec.fault),
         )
+        if tele is not None:
+            snapshot = tele.registry.snapshot()
     wall = time.perf_counter() - started
     return PointResult(
-        key=point.key(spec),
+        key=key,
         params=point.params,
         seed=point.seed,
         run_index=point.run_index,
@@ -159,6 +209,7 @@ def evaluate_point(spec: SweepSpec, point: SweepPoint) -> PointResult:
         events_processed=result.events_processed,
         wall_seconds=wall,
         telemetry=snapshot,
+        profile=result.profile,
     )
 
 
@@ -279,6 +330,19 @@ class SweepRunner:
     journal_fsync:
         fsync the journal per record (durable against power loss); turn
         off to speed up sweeps of very cheap points.
+    flightrec_dir:
+        Arm the flight recorder in every worker, dumping on failure to
+        ``flightrec-<point_key>.jsonl`` under this directory.  Defaults
+        to ``checkpoint_dir`` (dumps land next to the sweep journal);
+        pass ``""`` to disable recording for a checkpointed sweep.
+    profile:
+        Run every point with per-callback run-loop profiling; profiles
+        ride back on each computed :class:`PointResult`.
+    fault:
+        Inject a data-plane fault into every point, e.g.
+        ``("outage", 5.0, 2.0)`` (bottleneck down for 2 s starting at
+        sim t=5 s).  Part of the cache key — faulted and fault-free
+        evaluations never collide.
     """
 
     def __init__(
@@ -294,8 +358,20 @@ class SweepRunner:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         journal_fsync: bool = True,
+        flightrec_dir: Optional[str] = None,
+        profile: bool = False,
+        fault: Optional[Tuple[str, float, float]] = None,
     ) -> None:
-        self.spec = SweepSpec(preset=preset, duration_s=duration_s, watchdog=watchdog)
+        if flightrec_dir is None:
+            flightrec_dir = checkpoint_dir
+        self.spec = SweepSpec(
+            preset=preset,
+            duration_s=duration_s,
+            watchdog=watchdog,
+            flightrec_dir=flightrec_dir or None,
+            profile=profile,
+            fault=fault,
+        )
         self.n_workers = n_workers if n_workers is not None else _default_workers()
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
@@ -410,10 +486,10 @@ class SweepRunner:
             # drops them on serialization (to_dict excludes the field),
             # so strip them for MemoryCache too — cached points behave
             # identically whichever backend served them.
-            if result.telemetry is None:
+            if result.telemetry is None and result.profile is None:
                 self.cache.put(result)
             else:
-                self.cache.put(replace(result, telemetry=None))
+                self.cache.put(replace(result, telemetry=None, profile=None))
             if journal is not None:
                 journal.append(result)
             results[index] = result

@@ -286,6 +286,14 @@ class SweepSupervisor:
             )
             if tele.enabled:
                 tele.registry.counter("runner.quarantined").inc()
+            # If a flight recorder is live in *this* process (serial
+            # execution or an in-process experiment driving the
+            # supervisor), snapshot it at the quarantine decision.
+            # Pool workers dump on their own side at the point of
+            # failure; a crashed worker's memory is gone by now.
+            tele.flightrec.maybe_autodump(
+                f"quarantine:{kind}:point{slot.index}"
+            )
         else:
             slot.backoff_spent += backoff
             slot.eligible_at = now + backoff

@@ -110,6 +110,11 @@ def record_violation(
             invariant=violation.invariant,
             subject=violation.subject,
         )
+    # Dump the flight-recorder window before the violation unwinds the
+    # stack (no-op unless a recorder with an autodump path is active).
+    tele.flightrec.maybe_autodump(
+        f"invariant:{violation.invariant}", sim_time=violation.sim_time
+    )
     if report is not None:
         report.add(violation)
         return

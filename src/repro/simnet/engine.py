@@ -171,6 +171,9 @@ class SimWatchdog:
                 reason=reason,
                 events_processed=sim.events_processed,
             )
+        # A tripped watchdog is an anomaly: snapshot the flight-recorder
+        # rings before SimulationStalled unwinds the stack.
+        tele.flightrec.maybe_autodump(f"watchdog:{reason}", sim_time=sim.now)
 
 
 class EventHandle:
@@ -235,13 +238,46 @@ class SimProfile:
     nothing for it beyond a single ``is None`` check per ``run`` call.
     """
 
-    __slots__ = ("events", "wall_seconds", "run_calls", "phase_seconds")
+    __slots__ = (
+        "events",
+        "wall_seconds",
+        "run_calls",
+        "phase_seconds",
+        "callbacks",
+        "callback_stats",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, callbacks: bool = False) -> None:
         self.events = 0
         self.wall_seconds = 0.0
         self.run_calls = 0
         self.phase_seconds: Dict[str, float] = {}
+        #: When True, the run loop times each event callback individually
+        #: (slower; for ``--profile`` runs only).
+        self.callbacks = callbacks
+        #: ``qualname -> [count, total_seconds]``.  Event callbacks never
+        #: dispatch nested events synchronously, so total time is self
+        #: time at this granularity.
+        self.callback_stats: Dict[str, List[float]] = {}
+
+    def record_callback(self, name: str, elapsed: float) -> None:
+        """Charge one dispatched event to ``name``."""
+        stat = self.callback_stats.get(name)
+        if stat is None:
+            self.callback_stats[name] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+
+    def hottest(self, k: int = 10) -> List[Dict[str, Any]]:
+        """Top-``k`` event callbacks by total wall time, hottest first."""
+        ranked = sorted(
+            self.callback_stats.items(), key=lambda item: -item[1][1]
+        )
+        return [
+            {"callback": name, "count": int(stat[0]), "total_s": stat[1]}
+            for name, stat in ranked[:k]
+        ]
 
     @property
     def events_per_second(self) -> float:
@@ -256,13 +292,16 @@ class SimProfile:
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict form for JSON reports (BENCH trajectory files)."""
-        return {
+        out = {
             "events": self.events,
             "wall_seconds": self.wall_seconds,
             "events_per_second": self.events_per_second,
             "run_calls": self.run_calls,
             "phase_seconds": dict(self.phase_seconds),
         }
+        if self.callback_stats:
+            out["callbacks"] = self.hottest(k=len(self.callback_stats))
+        return out
 
 
 class Simulator:
@@ -308,10 +347,17 @@ class Simulator:
         """The active :class:`SimProfile`, or None when profiling is off."""
         return self._profile
 
-    def enable_profiling(self) -> SimProfile:
-        """Turn on run-loop metrics; returns the (idempotent) profile."""
+    def enable_profiling(self, callbacks: bool = False) -> SimProfile:
+        """Turn on run-loop metrics; returns the (idempotent) profile.
+
+        ``callbacks=True`` additionally times each event callback by
+        qualified name (``--profile`` in the CLI); upgrading an existing
+        profile to callback mode is allowed, downgrading is not.
+        """
         if self._profile is None:
-            self._profile = SimProfile()
+            self._profile = SimProfile(callbacks=callbacks)
+        elif callbacks:
+            self._profile.callbacks = True
         return self._profile
 
     @property
@@ -401,6 +447,7 @@ class Simulator:
         self._running = True
         profile = self._profile
         started = _time.perf_counter() if profile is not None else 0.0
+        profile_callbacks = profile is not None and profile.callbacks
         events_before = self._events_processed
         heap = self._heap
         entries = self._entries
@@ -430,7 +477,16 @@ class Simulator:
                 self._now = time
                 self._events_processed += 1
                 executed += 1
-                entry[0](*entry[1])
+                if profile_callbacks:
+                    callback = entry[0]
+                    cb_started = _time.perf_counter()
+                    callback(*entry[1])
+                    profile.record_callback(
+                        getattr(callback, "__qualname__", repr(callback)),
+                        _time.perf_counter() - cb_started,
+                    )
+                else:
+                    entry[0](*entry[1])
         finally:
             self._running = False
             if profile is not None:

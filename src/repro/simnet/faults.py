@@ -39,9 +39,45 @@ from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..telemetry import session as _telemetry_session
 from .engine import Simulator
 from .link import Link
 from .packet import Packet
+
+
+def _record_fault_event(
+    kind: str,
+    now: float,
+    fault: object,
+    *,
+    packet: Optional[Packet] = None,
+) -> None:
+    """Flight-recorder funnel for fault lifecycle and absorption events.
+
+    Emits the fault's window (``start_s``/``end_s`` when it has one) so
+    a post-mortem can attribute a stall to the injected fault window
+    even when the dump's ring no longer holds the schedule event.  Fault
+    paths are rare, so the detail dict per event is fine.
+    """
+    rec = _telemetry_session().flightrec
+    if not rec.enabled:
+        return
+    detail = {"fault": type(fault).__name__}
+    start_s = getattr(fault, "start_s", None)
+    end_s = getattr(fault, "end_s", None)
+    if start_s is not None:
+        detail["start_s"] = start_s
+    if end_s is not None:
+        detail["end_s"] = end_s
+    link = getattr(fault, "link", None)
+    component = link.name if link is not None else type(fault).__name__
+    if packet is None:
+        rec.fault(kind, now, component, detail=detail)
+    else:
+        rec.fault(
+            kind, now, component, packet.flow_id, packet.packet_id,
+            detail=detail,
+        )
 
 
 class _DeliveryChain:
@@ -176,14 +212,17 @@ class LinkOutage(LinkFault):
     def _begin(self) -> None:
         self.active = True
         self._install()
+        _record_fault_event("fault_begin", self.sim.now, self)
         self.sim.schedule(self.duration_s, self._end)
 
     def _end(self) -> None:
         self.active = False
         self._uninstall()
+        _record_fault_event("fault_end", self.sim.now, self)
 
     def apply(self, packet: Packet, forward: Callable[[Packet], None]) -> None:
         self.packets_blackholed += 1
+        _record_fault_event("fault_absorb", self.sim.now, self, packet=packet)
 
 
 class RandomLoss(LinkFault):
@@ -216,6 +255,9 @@ class RandomLoss(LinkFault):
     def apply(self, packet: Packet, forward: Callable[[Packet], None]) -> None:
         if self.rng.random() < self.loss_probability:
             self.packets_dropped += 1
+            _record_fault_event(
+                "fault_absorb", self.sim.now, self, packet=packet
+            )
             return
         self.packets_passed += 1
         forward(packet)
@@ -278,6 +320,7 @@ class LinkFlap(LinkFault):
         self.down = True
         self.transitions += 1
         self._install()
+        _record_fault_event("fault_begin", self.sim.now, self)
         self.sim.schedule(self.down_s, self._go_up)
 
     def _go_up(self) -> None:
@@ -285,11 +328,13 @@ class LinkFlap(LinkFault):
         self.transitions += 1
         self._remaining -= 1
         self._uninstall()
+        _record_fault_event("fault_end", self.sim.now, self)
         if self._remaining > 0:
             self.sim.schedule(self.up_s, self._go_down)
 
     def apply(self, packet: Packet, forward: Callable[[Packet], None]) -> None:
         self.packets_blackholed += 1
+        _record_fault_event("fault_absorb", self.sim.now, self, packet=packet)
 
 
 class DelaySpike(LinkFault):
@@ -333,14 +378,17 @@ class DelaySpike(LinkFault):
     def _begin(self) -> None:
         self.active = True
         self._install()
+        _record_fault_event("fault_begin", self.sim.now, self)
         self.sim.schedule(self.duration_s, self._end)
 
     def _end(self) -> None:
         self.active = False
         self._uninstall()
+        _record_fault_event("fault_end", self.sim.now, self)
 
     def apply(self, packet: Packet, forward: Callable[[Packet], None]) -> None:
         self.packets_delayed += 1
+        _record_fault_event("fault_delay", self.sim.now, self, packet=packet)
         self.sim.schedule(self.extra_delay_s, forward, packet)
 
 
@@ -402,12 +450,14 @@ class ServerOutage:
         self.active = True
         for target in self.targets:
             target.mark_down()
+        _record_fault_event("fault_begin", self.sim.now, self)
         self.sim.schedule(self.duration_s, self._end)
 
     def _end(self) -> None:
         self.active = False
         for target in self.targets:
             target.mark_up()
+        _record_fault_event("fault_end", self.sim.now, self)
 
 
 class ReplicaMesh(Protocol):
@@ -424,14 +474,28 @@ class ReplicaMesh(Protocol):
 
 
 class _PartitionLeg(LinkFault):
-    """One link black-holed by a :class:`Partition` while it is active."""
+    """One link black-holed by a :class:`Partition` while it is active.
 
-    def __init__(self, link: Link) -> None:
+    Carries the owning partition's window so absorption events dumped
+    from the flight recorder attribute to the partition's [start, end).
+    """
+
+    def __init__(
+        self,
+        link: Link,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> None:
         super().__init__(link)
         self.packets_blackholed = 0
+        self.start_s = start_s
+        self.end_s = end_s
 
     def apply(self, packet: Packet, forward: Callable[[Packet], None]) -> None:
         self.packets_blackholed += 1
+        _record_fault_event(
+            "fault_absorb", self.link.sim.now, self, packet=packet
+        )
 
 
 class Partition:
@@ -476,7 +540,8 @@ class Partition:
         self.targets = tuple(targets)
         self.mesh = mesh
         self.edges = tuple(tuple(edge) for edge in edges)
-        self._legs = [_PartitionLeg(link) for link in links]
+        end_s = start_s + duration_s
+        self._legs = [_PartitionLeg(link, start_s, end_s) for link in links]
         self.active = False
         self.heals = 0
         sim.schedule_at(start_s, self._begin)
@@ -499,6 +564,7 @@ class Partition:
             target.mark_down()
         for i, j in self.edges:
             self.mesh.sever(i, j)
+        _record_fault_event("fault_begin", self.sim.now, self)
         self.sim.schedule(self.duration_s, self._end)
 
     def _end(self) -> None:
@@ -510,6 +576,7 @@ class Partition:
             target.mark_up()
         for i, j in self.edges:
             self.mesh.heal(i, j)
+        _record_fault_event("fault_end", self.sim.now, self)
 
 
 class FaultInjector:
@@ -527,6 +594,7 @@ class FaultInjector:
     def add(self, fault):
         """Track an externally-constructed fault; returns it."""
         self.faults.append(fault)
+        _record_fault_event("fault_scheduled", self.sim.now, fault)
         return fault
 
     def link_outage(self, link: Link, start_s: float, duration_s: float) -> LinkOutage:

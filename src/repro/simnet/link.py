@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..telemetry import session as _telemetry_session
 from .engine import Simulator
-from .packet import Packet
+from .packet import Packet, PacketKind
 from .queues import DropTailQueue
+
+#: Module constant so the hot-path DATA check is one identity compare.
+_DATA = PacketKind.DATA
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .node import Node
@@ -93,7 +97,20 @@ class Link:
         self.packets_offered += 1
         self.bytes_offered += packet.size_bytes
         if self._busy:
-            self.queue.enqueue(packet)
+            accepted = self.queue.enqueue(packet)
+            if accepted:
+                # Flight recorder: one session lookup + bool when off
+                # (the drop branch is recorded by the queue itself).
+                # Armed, it records the DATA lifecycle only (ACK feedback is
+                # visible as transport cwnd events), and no occupancy
+                # detail — a dict per enqueue costs real time on the hot
+                # path; the drop funnel snapshots occupancy instead.
+                rec = _telemetry_session().flightrec
+                if rec.enabled and packet.kind is _DATA:
+                    rec.simnet(
+                        "enqueue", self.sim.now, self.name,
+                        packet.flow_id, packet.packet_id,
+                    )
             return
         self._transmit(packet)
 
@@ -109,6 +126,18 @@ class Link:
         self._busy_seconds += self.sim.now - self._tx_started_at
         self._schedule(self.delay_s, self._deliver, packet)
         next_packet = self.queue.dequeue()
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            now = self.sim.now
+            if packet.kind is _DATA:
+                rec.simnet(
+                    "transmit", now, self.name, packet.flow_id, packet.packet_id
+                )
+            if next_packet is not None and next_packet.kind is _DATA:
+                rec.simnet(
+                    "dequeue", now, self.name,
+                    next_packet.flow_id, next_packet.packet_id,
+                )
         if next_packet is not None:
             self._transmit(next_packet)
         else:
@@ -120,6 +149,9 @@ class Link:
         packet.hops += 1
         self.packets_delivered += 1
         self.bytes_delivered += packet.size_bytes
+        # No flight-recorder emit here: delivery is implied by the
+        # transmit record plus the link's fixed delay, and skipping it
+        # keeps the armed recorder inside its 1.10x hot-path budget.
         self.dst_node.receive(packet, self)
 
     def utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:

@@ -23,6 +23,7 @@ from collections import deque
 from itertools import count
 from typing import Callable, Deque, List, Optional, Tuple
 
+from ..telemetry import session as _telemetry_session
 from .packet import Packet
 
 
@@ -162,6 +163,19 @@ class DropTailQueue:
     def _drop(self, packet: Packet) -> None:
         self.stats.dropped_packets += 1
         self.stats.dropped_bytes += packet.size_bytes
+        # Flight recorder: the single drop funnel for every queue
+        # discipline; the occupancy snapshot is what lets the post-mortem
+        # attribute a stall to queue buildup rather than to a fault.
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.simnet(
+                "drop", self._clock(), "queue",
+                packet.flow_id, packet.packet_id,
+                detail={
+                    "queued_bytes": self._bytes,
+                    "capacity_bytes": self.capacity_bytes,
+                },
+            )
         if self._on_drop is not None:
             self._on_drop(packet)
 

@@ -1,4 +1,4 @@
-"""Structured event tracing.
+"""Structured event tracing (legacy; superseded by :mod:`repro.flightrec`).
 
 An ns-2-style trace facility: components emit typed records (packet
 enqueued/dequeued/dropped/delivered, flow started/finished, cwnd
@@ -8,6 +8,17 @@ debugging and for the examples' plots.
 
 Tracing is opt-in and zero-cost when no tracer is attached (the hooks
 are plain ``None`` checks on the hot path).
+
+.. deprecated::
+    The per-event ring bookkeeping here is superseded by the
+    session-scoped flight recorder (:mod:`repro.flightrec`), whose
+    direct instrumentation in the link, queue, transport, and phi
+    layers captures every kind this tracer knows about — with bounded
+    per-layer rings and packet ids — without attaching anything.  This
+    module stays for its query/plotting helpers and existing callers;
+    construct a :class:`Tracer` with ``bridge=True`` to additionally
+    forward its records onto the active flight recorder so legacy
+    pipelines land in the same unified dump.
 """
 
 from __future__ import annotations
@@ -16,6 +27,12 @@ import json
 from dataclasses import asdict, dataclass
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, TextIO
+
+from ..telemetry import session as _telemetry_session
+
+#: Legacy kinds that map onto the flight recorder's transport layer;
+#: everything else bridges to the simnet layer.
+_TRANSPORT_KINDS = frozenset({"flow_start", "flow_end", "cwnd"})
 
 
 class TraceEventType(Enum):
@@ -65,6 +82,7 @@ class Tracer:
         *,
         max_events: Optional[int] = None,
         kinds: Optional[Iterable[TraceEventType]] = None,
+        bridge: bool = False,
     ) -> None:
         if max_events is not None and max_events < 1:
             raise ValueError(f"max_events must be >= 1: {max_events}")
@@ -73,6 +91,10 @@ class Tracer:
         self._kinds = frozenset(kinds) if kinds is not None else None
         self.events: List[TraceEvent] = []
         self.dropped_records = 0
+        #: Forward each record onto the session flight recorder (see the
+        #: module deprecation note).  Off by default: runs using the
+        #: direct flightrec instrumentation would double-record.
+        self.bridge = bridge
 
     def emit(
         self,
@@ -86,6 +108,21 @@ class Tracer:
         """Record one event (subject to the kind filter and size bound)."""
         if self._kinds is not None and kind not in self._kinds:
             return
+        if self.bridge:
+            rec = _telemetry_session().flightrec
+            if rec.enabled:
+                t = self._clock()
+                if kind.value in _TRANSPORT_KINDS:
+                    rec.transport(
+                        kind.value, t, flow_id, value,
+                        detail={"legacy": component} if detail == "" else
+                        {"legacy": component, "note": detail},
+                    )
+                else:
+                    rec.simnet(
+                        kind.value, t, component, flow_id,
+                        detail={"note": detail} if detail else None,
+                    )
         if self.max_events is not None and len(self.events) >= self.max_events:
             self.dropped_records += 1
             return
@@ -154,6 +191,11 @@ class Tracer:
 
 class TracedSenderMixin:
     """Mixin for TcpSender subclasses that logs cwnd on every change.
+
+    .. deprecated::
+        The flight recorder's direct :class:`~repro.transport.base.TcpSender`
+        instrumentation records cwnd/recovery/RTO edges for every sender
+        without a mixin; prefer ``repro.flightrec.use()`` for new code.
 
     Usage::
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from ..flightrec.recorder import NULL_RECORDER, FlightRecorder
 from .registry import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -73,13 +74,25 @@ __all__ = [
 
 
 class TelemetrySession:
-    """The pair of collectors instrumentation writes to."""
+    """The collectors instrumentation writes to.
 
-    __slots__ = ("registry", "tracer")
+    ``flightrec`` is the session-scoped flight recorder (PR 10); it
+    stays the shared disabled :data:`~repro.flightrec.recorder.NULL_RECORDER`
+    unless a recording scope (:func:`repro.flightrec.use`) installs a
+    live one, so plain metrics/trace sessions pay nothing for it.
+    """
 
-    def __init__(self, registry: MetricsRegistry, tracer: Tracer) -> None:
+    __slots__ = ("registry", "tracer", "flightrec")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+        flightrec: Optional[FlightRecorder] = None,
+    ) -> None:
         self.registry = registry
         self.tracer = tracer
+        self.flightrec = NULL_RECORDER if flightrec is None else flightrec
 
     @property
     def enabled(self) -> bool:
@@ -88,6 +101,7 @@ class TelemetrySession:
     def clear(self) -> None:
         self.registry.clear()
         self.tracer.clear()
+        self.flightrec.clear()
 
 
 #: The shared disabled session — module-level so `session()` never allocates.
@@ -115,7 +129,9 @@ def enable(
     if fresh is not None:
         _active = fresh
     elif not _active.enabled:
-        _active = TelemetrySession(MetricsRegistry(), Tracer(trace_capacity))
+        _active = TelemetrySession(
+            MetricsRegistry(), Tracer(trace_capacity), _active.flightrec
+        )
     return _active
 
 
@@ -134,12 +150,14 @@ def use(
     """Scoped telemetry: activate a (new or given) session, restore after.
 
     This is what sweep workers use around a single point evaluation so
-    each point's metrics land in an isolated registry.
+    each point's metrics land in an isolated registry.  A fresh session
+    inherits the ambient flight recorder: scoping metrics must not
+    silently stop an active recording.
     """
     global _active
     previous = _active
     chosen = session_to_use or TelemetrySession(
-        MetricsRegistry(), Tracer(trace_capacity)
+        MetricsRegistry(), Tracer(trace_capacity), previous.flightrec
     )
     _active = chosen
     try:

@@ -21,9 +21,9 @@ import json
 import time as _time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["NullTracer", "Tracer"]
+__all__ = ["NullTracer", "Tracer", "load_jsonl"]
 
 
 class Tracer:
@@ -109,7 +109,9 @@ class Tracer:
         """Write the retained records as JSON lines; returns the count.
 
         The first line is a header noting how many records were emitted
-        and evicted, so a truncated trace is self-describing.
+        and evicted, so a truncated trace is self-describing.  Strict
+        JSON (``allow_nan=False``): a NaN or infinity in a record field
+        raises here rather than producing a non-interoperable artifact.
         """
         retained = list(self._records)
         with open(path, "w", encoding="utf-8") as handle:
@@ -121,17 +123,40 @@ class Tracer:
                         "emitted": self.emitted,
                         "evicted": self.evicted,
                         "capacity": self.capacity,
-                    }
+                    },
+                    allow_nan=False,
                 )
                 + "\n"
             )
             for record in retained:
-                handle.write(json.dumps(record) + "\n")
+                handle.write(json.dumps(record, allow_nan=False) + "\n")
         return len(retained)
 
     def clear(self) -> None:
         self._records.clear()
         self.emitted = 0
+
+
+def load_jsonl(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a :meth:`Tracer.dump_jsonl` artifact back: ``(header, records)``.
+
+    The inverse of the dump: the header (empty dict if absent) plus the
+    retained records in emission order, so eviction accounting and
+    round-trip tests can compare against the live tracer.
+    """
+    header: Dict[str, Any] = {}
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if payload.get("kind") == "header":
+                header = payload
+            else:
+                records.append(payload)
+    return header, records
 
 
 class NullTracer(Tracer):

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..simnet.engine import EventHandle, Simulator
+from ..telemetry import session as _telemetry_session
 from ..simnet.node import Host
 from ..simnet.packet import (
     MSS_BYTES,
@@ -225,6 +226,10 @@ class TcpSender:
         self._rto_handle: Optional[EventHandle] = None
         self._started = False
         self._finished = False
+        # Last integer cwnd sampled into the flight recorder; growth is
+        # recorded only on integer crossings so a long flow cannot flood
+        # the transport ring with sub-segment increments.
+        self._flightrec_cwnd = int(self.cwnd)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -236,6 +241,13 @@ class TcpSender:
         self._started = True
         self.stats.start_time = self.sim.now
         self.host.register_agent(self.spec.flow_id, self)
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.transport(
+                "flow_start", self.sim.now, self.spec.flow_id,
+                self.cwnd, self.ssthresh,
+                detail={"flavour": self.flavour, "flow_size": self.flow_size},
+            )
         self._send_available()
 
     def _finish(self) -> None:
@@ -247,6 +259,14 @@ class TcpSender:
         self.stats.bytes_goodput = self.flow_size
         self._cancel_rto()
         self.host.unregister_agent(self.spec.flow_id)
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.transport(
+                "flow_end", self.sim.now, self.spec.flow_id,
+                self.cwnd, self.ssthresh,
+                detail={"retransmits": self.stats.retransmits,
+                        "timeouts": self.stats.timeouts},
+            )
         if self.on_complete is not None:
             self.on_complete(self)
 
@@ -259,6 +279,13 @@ class TcpSender:
         self.stats.bytes_goodput = self.snd_una
         self._cancel_rto()
         self.host.unregister_agent(self.spec.flow_id)
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.transport(
+                "flow_abort", self.sim.now, self.spec.flow_id,
+                self.cwnd, self.ssthresh,
+                detail={"goodput_bytes": self.snd_una},
+            )
 
     @property
     def finished(self) -> bool:
@@ -338,6 +365,13 @@ class TcpSender:
         self._sacked = ByteIntervalSet()
         self._recovery_retransmitted.clear()
         self._on_timeout_event()
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.transport(
+                "rto", self.sim.now, self.spec.flow_id,
+                self.cwnd, self.ssthresh,
+                detail={"rto_s": self.rtt.rto, "snd_una": self.snd_una},
+            )
         # Go-back-N from the last cumulative ACK.
         self.snd_nxt = self.snd_una
         self._send_segment(self.snd_una, is_retransmit=True)
@@ -415,6 +449,15 @@ class TcpSender:
             self.cwnd = min(self.ssthresh, self.cwnd + acked_segments)
         else:
             self._on_ack_congestion_avoidance(acked_segments)
+        sampled = int(self.cwnd)
+        if sampled != self._flightrec_cwnd:
+            self._flightrec_cwnd = sampled
+            rec = _telemetry_session().flightrec
+            if rec.enabled:
+                rec.transport(
+                    "cwnd", self.sim.now, self.spec.flow_id,
+                    self.cwnd, self.ssthresh,
+                )
 
     def _on_duplicate_ack(self) -> None:
         self.dup_acks += 1
@@ -433,6 +476,13 @@ class TcpSender:
         self._recovery_retransmitted.clear()
         self.stats.fast_retransmits += 1
         self._on_loss_event()
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.transport(
+                "recovery_enter", self.sim.now, self.spec.flow_id,
+                self.cwnd, self.ssthresh,
+                detail={"recovery_point": self.recovery_point},
+            )
         # The fast retransmit proper: repair the first hole immediately,
         # regardless of the pipe (it is what the 3 dupACKs announced).
         hole = self._next_hole()
@@ -445,6 +495,13 @@ class TcpSender:
         self.in_recovery = False
         self._recovery_retransmitted.clear()
         self.cwnd = max(1.0, self.ssthresh)
+        self._flightrec_cwnd = int(self.cwnd)
+        rec = _telemetry_session().flightrec
+        if rec.enabled:
+            rec.transport(
+                "recovery_exit", self.sim.now, self.spec.flow_id,
+                self.cwnd, self.ssthresh,
+            )
 
     def _next_hole(self) -> Optional[int]:
         """First segment in [snd_una, recovery_point) that the receiver is

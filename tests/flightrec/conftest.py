@@ -1,0 +1,11 @@
+"""Shared guard: no test may leak an active flight recorder or session."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    yield
+    telemetry.disable()

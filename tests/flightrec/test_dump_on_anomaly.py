@@ -1,0 +1,146 @@
+"""Dump-on-anomaly funnels: watchdog trips, invariant violations, sweeps.
+
+The acceptance path for the flight recorder: a sweep point that dies —
+here, a watchdog trip provoked by an injected bottleneck outage — must
+leave ``flightrec-<point_key>.jsonl`` next to the sweep journal, and the
+post-mortem over that dump must attribute the stall to the injected
+fault window rather than ``unknown``.
+"""
+
+import os
+
+import pytest
+
+from repro import flightrec, telemetry
+from repro.flightrec.postmortem import analyze_dump
+from repro.flightrec.recorder import load_dump
+from repro.runner.cache import NullCache
+from repro.runner.core import SweepPoint, SweepRunner, SweepSpec, evaluate_point
+from repro.runner.resilience import ResilienceConfig, RetryPolicy
+from repro.simcheck.violations import InvariantViolation, record_violation
+from repro.simnet.engine import WatchdogConfig
+
+from tests.runner.conftest import MINI_GRID, MINI_PRESET
+
+OUTAGE = ("outage", 0.5, 0.5)  # bottleneck dark over [0.5, 1.0) sim s
+
+
+def _calibrated_budget():
+    """An event budget that trips the watchdog *after* the fault window.
+
+    Calibrated against the unwatched run so the test stays correct if
+    the simulation's event count drifts: 90% of the full run's events
+    lands well past the 1.0 s window end in a 2.0 s run.
+    """
+    spec = SweepSpec(preset=MINI_PRESET, fault=OUTAGE)
+    point = SweepPoint(params=MINI_GRID[0], run_index=0, seed=0)
+    full = evaluate_point(spec, point)
+    return max(1, int(full.events_processed * 0.9))
+
+
+def _make_runner(tmp_path, *, n_workers, max_events):
+    return SweepRunner(
+        MINI_PRESET,
+        n_workers=n_workers,
+        cache=NullCache(),
+        checkpoint_dir=str(tmp_path),
+        watchdog=WatchdogConfig(max_events=max_events),
+        fault=OUTAGE,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1, backoff_base_s=0.01),
+            poll_interval_s=0.02,
+        ),
+    )
+
+
+def _dump_path(runner, tmp_path):
+    point = SweepPoint(params=MINI_GRID[0], run_index=0, seed=0)
+    return str(tmp_path / f"flightrec-{point.key(runner.spec)}.jsonl")
+
+
+def _assert_fault_attributed(analysis):
+    (window,) = analysis["fault_windows"]
+    assert window["fault"] == "LinkOutage"
+    assert (window["start"], window["end"]) == (0.5, 1.0)
+    attributed = [
+        stall
+        for entry in analysis["flows"]
+        for stall in entry["stalls"]
+        if stall["cause"] == "injected-fault"
+    ]
+    assert attributed, "no stall attributed to the injected fault window"
+    for stall in attributed:
+        spans = [s for s in stall["evidence"] if s["kind"] == "injected-fault"]
+        assert spans and spans[0]["start"] == 0.5 and spans[0]["end"] == 1.0
+
+
+class TestQuarantinedSweepPoint:
+    def test_serial_point_dumps_and_postmortem_blames_the_outage(self, tmp_path):
+        runner = _make_runner(
+            tmp_path, n_workers=1, max_events=_calibrated_budget()
+        )
+        outcome = runner.run(
+            [MINI_GRID[0]], n_runs=1, base_seed=0, parallel=False
+        )
+        assert len(outcome.quarantined) == 1
+        assert outcome.quarantined[0].last_failure.kind == "stalled"
+        dump = _dump_path(runner, tmp_path)
+        assert os.path.exists(dump)
+        analysis = analyze_dump(dump)
+        assert analysis["anomaly"]["reason"] == "watchdog:max_events"
+        assert isinstance(analysis["anomaly"]["sim_time"], float)
+        _assert_fault_attributed(analysis)
+
+    @pytest.mark.fault
+    def test_worker_process_dump_survives_the_worker(self, tmp_path):
+        # The dump is a file written inside the worker at the moment of
+        # failure, so it outlives the worker process.
+        runner = _make_runner(
+            tmp_path, n_workers=2, max_events=_calibrated_budget()
+        )
+        outcome = runner.run([MINI_GRID[0]], n_runs=1, base_seed=0)
+        assert len(outcome.quarantined) == 1
+        header, records = load_dump(_dump_path(runner, tmp_path))
+        assert header["reason"] == "watchdog:max_events"
+        assert records
+
+    def test_healthy_sweep_leaves_no_dumps(self, tmp_path):
+        runner = SweepRunner(
+            MINI_PRESET,
+            n_workers=1,
+            cache=NullCache(),
+            checkpoint_dir=str(tmp_path),
+            fault=OUTAGE,
+        )
+        outcome = runner.run(
+            [MINI_GRID[0]], n_runs=1, base_seed=0, parallel=False
+        )
+        assert outcome.complete
+        assert not list(tmp_path.glob("flightrec-*.jsonl"))
+
+
+class TestInvariantViolationFunnel:
+    def test_record_violation_autodumps_before_raising(self, tmp_path):
+        path = tmp_path / "invariant.jsonl"
+        with flightrec.use(autodump_path=str(path)) as rec:
+            rec.simnet("enqueue", 1.4, "bottleneck", flow_id=1, packet_id=9)
+            with pytest.raises(InvariantViolation):
+                record_violation(
+                    InvariantViolation(
+                        "wire_conservation",
+                        "bottleneck",
+                        "packet neither delivered nor dropped",
+                        sim_time=1.5,
+                    )
+                )
+        header, records = load_dump(str(path))
+        assert header["reason"] == "invariant:wire_conservation"
+        assert header["sim_time"] == 1.5
+        assert records[0]["kind"] == "enqueue"
+
+    def test_violation_without_recorder_still_raises(self):
+        assert not telemetry.session().flightrec.enabled
+        with pytest.raises(InvariantViolation):
+            record_violation(
+                InvariantViolation("wire_conservation", "link", "lost", 0.1)
+            )

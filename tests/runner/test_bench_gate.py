@@ -1,0 +1,161 @@
+"""The bench-trajectory regression gate: medians, budgets, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner.bench import (
+    append_bench_entry,
+    bench_entry,
+    check_gate,
+    load_trajectory,
+)
+
+
+def _entry(label, metric, value, higher_is_better=True):
+    return {
+        "label": label,
+        "timestamp": 0.0,
+        "gate": {
+            "metric": metric,
+            "value": value,
+            "higher_is_better": higher_is_better,
+        },
+    }
+
+
+class TestCheckGate:
+    def test_regression_beyond_budget_fails(self):
+        trajectory = [
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 3.2),
+            _entry("sweep", "speedup", 2.0),
+        ]
+        result = check_gate("BENCH_x.json", trajectory, budget_pct=10.0)
+        assert not result.ok
+        assert result.metric == "speedup"
+        assert result.baseline == 3.1
+        assert result.regression == pytest.approx((3.1 - 2.0) / 3.1)
+        assert "regression" in result.reason
+
+    def test_within_budget_passes(self):
+        trajectory = [
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 2.9),
+        ]
+        assert check_gate("p", trajectory, budget_pct=10.0).ok
+
+    def test_improvement_always_passes(self):
+        trajectory = [
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 9.0),
+        ]
+        result = check_gate("p", trajectory, budget_pct=0.0)
+        assert result.ok and result.regression < 0
+
+    def test_lower_is_better_direction(self):
+        # Overhead ratios regress by going *up*.
+        trajectory = [
+            _entry("flightrec", "overhead_ratio", 1.02, higher_is_better=False),
+            _entry("flightrec", "overhead_ratio", 1.5, higher_is_better=False),
+        ]
+        result = check_gate("p", trajectory, budget_pct=10.0)
+        assert not result.ok
+        assert result.regression == pytest.approx((1.5 - 1.02) / 1.02)
+
+    def test_single_entry_is_insufficient_history(self):
+        result = check_gate("p", [_entry("sweep", "speedup", 3.0)], 10.0)
+        assert result.ok and "insufficient history" in result.reason
+
+    def test_empty_trajectory_passes(self):
+        assert check_gate("p", [], 10.0).ok
+
+    def test_other_labels_do_not_pollute_the_baseline(self):
+        trajectory = [
+            _entry("other-bench", "speedup", 100.0),
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 3.0),
+        ]
+        result = check_gate("p", trajectory, budget_pct=5.0)
+        assert result.ok and result.baseline == 3.0
+
+    def test_other_metrics_do_not_pollute_the_baseline(self):
+        trajectory = [
+            _entry("sweep", "events_per_second", 1e6),
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 3.0),
+        ]
+        result = check_gate("p", trajectory, budget_pct=5.0)
+        assert result.ok and result.baseline == 3.0
+
+    def test_legacy_entries_fall_back_to_speedup(self):
+        trajectory = [
+            {"label": "sweep", "speedup": 3.0},
+            {"label": "sweep", "speedup": 1.0},
+        ]
+        result = check_gate("p", trajectory, budget_pct=10.0)
+        assert not result.ok and result.metric == "speedup"
+
+    def test_zero_baseline_passes_rather_than_dividing(self):
+        trajectory = [
+            _entry("sweep", "speedup", 0.0),
+            _entry("sweep", "speedup", 0.0),
+        ]
+        result = check_gate("p", trajectory, budget_pct=10.0)
+        assert result.ok and result.reason == "zero baseline"
+
+
+class TestEntrySchema:
+    def test_bench_entry_gate_block(self):
+        entry = bench_entry(
+            "flightrec-overhead", gate=("overhead_ratio", 1.05, False)
+        )
+        assert entry["label"] == "flightrec-overhead"
+        assert entry["gate"] == {
+            "metric": "overhead_ratio",
+            "value": 1.05,
+            "higher_is_better": False,
+        }
+        assert "machine" in entry and "timestamp" in entry
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        append_bench_entry(path, _entry("sweep", "speedup", 3.0))
+        append_bench_entry(path, _entry("sweep", "speedup", 2.0))
+        trajectory = load_trajectory(path)
+        assert [e["gate"]["value"] for e in trajectory] == [3.0, 2.0]
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        path.write_text("{not json")
+        assert load_trajectory(str(path)) == []
+        append_bench_entry(str(path), _entry("sweep", "speedup", 1.0))
+        assert len(load_trajectory(str(path))) == 1
+
+
+class TestCli:
+    def test_gate_fails_on_synthetic_regression(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_synthetic.json"
+        path.write_text(json.dumps([
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 3.2),
+            _entry("sweep", "speedup", 1.0),
+        ]))
+        assert main(["bench", "gate", "--budget", "10", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_gate_passes_within_budget(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_synthetic.json"
+        path.write_text(json.dumps([
+            _entry("sweep", "speedup", 3.0),
+            _entry("sweep", "speedup", 3.0),
+        ]))
+        assert main(["bench", "gate", "--budget", "10", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_gate_errors_when_no_trajectories(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "gate"]) == 2
+        assert "no trajectory files" in capsys.readouterr().err

@@ -1,0 +1,105 @@
+"""Tracer ring semantics: wraparound accounting, round-trip, strict JSON.
+
+Complements ``test_trace.py`` (basic events/spans): these tests pin the
+bounded-ring contract the flight recorder's anomaly funnels depend on —
+eviction counts that stay truthful across wraparound, a dump that loads
+back bit-equal, and hard rejection of NaN/infinity.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.trace import Tracer, load_jsonl
+
+
+class TestWraparoundAccounting:
+    def test_eviction_counts_across_many_wraps(self):
+        tracer = Tracer(capacity=4)
+        for i in range(23):
+            tracer.event("tick", sim_time=float(i), i=i)
+        assert tracer.emitted == 23
+        assert tracer.evicted == 19
+        assert len(tracer.records()) == 4
+        # The ring keeps the newest window, oldest first.
+        assert [r["fields"]["i"] for r in tracer.records()] == [19, 20, 21, 22]
+
+    def test_exact_fill_evicts_nothing(self):
+        tracer = Tracer(capacity=3)
+        for i in range(3):
+            tracer.event("tick", i=i)
+        assert tracer.evicted == 0
+
+    def test_spans_count_toward_the_same_ring(self):
+        tracer = Tracer(capacity=2)
+        tracer.event("first")
+        with tracer.span("second"):
+            pass
+        tracer.event("third")
+        assert tracer.emitted == 3 and tracer.evicted == 1
+        assert [r["name"] for r in tracer.records()] == ["second", "third"]
+
+    def test_clear_resets_accounting(self):
+        tracer = Tracer(capacity=1)
+        tracer.event("a")
+        tracer.event("b")
+        tracer.clear()
+        assert tracer.emitted == 0 and tracer.evicted == 0
+        assert tracer.records() == []
+
+
+class TestRoundTrip:
+    def test_dump_load_round_trip_preserves_records(self, tmp_path):
+        tracer = Tracer(capacity=8)
+        tracer.event("point_start", sim_time=0.0, index=3)
+        with tracer.span("point", sim_time=1.5, key="abc") as span:
+            span["fields"]["extra"] = "late"
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump_jsonl(str(path)) == 2
+        header, records = load_jsonl(str(path))
+        assert records == tracer.records()
+        assert header["emitted"] == 2
+        assert header["evicted"] == 0
+        assert header["capacity"] == 8
+
+    def test_header_reports_truncation_after_wraparound(self, tmp_path):
+        tracer = Tracer(capacity=2)
+        for i in range(7):
+            tracer.event("tick", i=i)
+        path = tmp_path / "trace.jsonl"
+        tracer.dump_jsonl(str(path))
+        header, records = load_jsonl(str(path))
+        assert header == {
+            "name": "trace.header",
+            "kind": "header",
+            "emitted": 7,
+            "evicted": 5,
+            "capacity": 2,
+        }
+        assert [r["fields"]["i"] for r in records] == [5, 6]
+
+    def test_dump_is_strict_one_object_per_line(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("tick", nested={"deep": [1, 2, 3]})
+        path = tmp_path / "trace.jsonl"
+        tracer.dump_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + record
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_dump_rejects_non_finite_fields(self, tmp_path, bad):
+        tracer = Tracer()
+        tracer.event("tick", value=bad)
+        with pytest.raises(ValueError):
+            tracer.dump_jsonl(str(tmp_path / "trace.jsonl"))
+
+    def test_non_finite_sim_time_rejected(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("tick", sim_time=math.inf)
+        with pytest.raises(ValueError):
+            tracer.dump_jsonl(str(tmp_path / "trace.jsonl"))
